@@ -1,0 +1,64 @@
+"""Benchmarks: design-choice ablations of the proposed scheme.
+
+One benchmark per DESIGN.md ablation: covariance estimator family,
+measurements-per-slot ``J``, regularization weight ``mu``, and the
+detection floor. Each prints its comparison table; assertions pin only
+the claims the design depends on.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    run_estimator_ablation,
+    run_floor_ablation,
+    run_j_ablation,
+    run_mu_ablation,
+)
+
+
+def test_estimator_ablation(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark, run_estimator_ablation, num_trials=bench_trials, base_seed=bench_seed
+    )
+    print()
+    print(result.table)
+    means = result.data["mean_loss_db"]
+    # The likelihood-aware estimator is competitive with the LS variant
+    # (the paper's reason for building Eq. 23 instead of plain MC).
+    assert means["ML (Eq. 23)"] <= means["LS+nuclear"] + 1.5
+
+
+def test_j_ablation(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark, run_j_ablation, num_trials=bench_trials, base_seed=bench_seed
+    )
+    print()
+    print(result.table)
+    means = result.data["mean_loss_db"]
+    # Every J must work; no configuration may collapse.
+    assert all(value < 20.0 for value in means.values())
+
+
+def test_mu_ablation(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark, run_mu_ablation, num_trials=bench_trials, base_seed=bench_seed
+    )
+    print()
+    print(result.table)
+    means = result.data["mean_loss_db"]
+    assert all(value < 20.0 for value in means.values())
+
+
+def test_floor_ablation(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark, run_floor_ablation, num_trials=bench_trials, base_seed=bench_seed
+    )
+    print()
+    print(result.table)
+    means = result.data["mean_loss_db"]
+    default = means["floor=0.5, explore=0.25 (default)"]
+    literal = means["floor=0, explore=0 (literal)"]
+    # The detection floor is what makes Algorithm 1 usable on orthogonal-
+    # tie channels: the literal reading must be clearly worse.
+    assert default <= literal

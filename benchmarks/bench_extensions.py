@@ -1,0 +1,61 @@
+"""Benchmarks: extension experiments beyond the paper.
+
+``ext-schemes`` compares every implemented scheme (including the
+bidirectional and digital-RX extensions) under one budget;
+``ext-tracking`` measures the warm-start advantage when re-aligning on a
+drifting channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_scheme_comparison, run_tracking
+
+
+def test_scheme_zoo(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark, run_scheme_comparison, num_trials=bench_trials, base_seed=bench_seed
+    )
+    print()
+    print(result.table)
+    means = result.data["mean_loss_db"]
+    # The genie is exact; no realizable scheme beats it.
+    assert means["Genie"] == 0.0
+    for name, value in means.items():
+        assert value >= -1e-9
+    # Digital RX needs only ~|U| dwells and lands near the optimum.
+    assert result.data["mean_measurements"]["DigitalRx"] <= 20
+    assert means["DigitalRx"] <= means["Random"]
+
+
+def test_interference_robustness(benchmark, bench_trials, bench_seed):
+    from repro.experiments import run_interference
+
+    result = run_once(
+        benchmark, run_interference, num_trials=bench_trials, base_seed=bench_seed
+    )
+    print()
+    print(result.table)
+    means = result.data["mean_loss_db"]
+    # Corruption hurts: the worst corruption level is no better than clean
+    # for every scheme (up to trial noise).
+    for series in means.values():
+        assert series[-1] >= series[0] - 1.0
+
+
+def test_tracking_warm_start(benchmark, bench_seed):
+    result = run_once(
+        benchmark,
+        run_tracking,
+        num_intervals=8,
+        num_runs=6,
+        drift_deg_values=(2.0,),
+        base_seed=bench_seed,
+    )
+    print()
+    print(result.table)
+    payload = result.data["drift"]["2"]
+    # Carrying the covariance estimate across intervals does not hurt.
+    assert payload["warm_mean_db"] <= payload["cold_mean_db"] + 0.5

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 5 (single-path search effectiveness).
+
+Prints the loss-vs-search-rate table for Random / Scan / Proposed on the
+single-path channel and pins the paper's qualitative shape: the proposed
+scheme tracks at or below the blind baselines, and everyone improves with
+budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig5
+
+BENCH_RATES = (0.05, 0.10, 0.20, 0.30)
+
+
+def test_fig5_singlepath_effectiveness(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark,
+        run_fig5,
+        num_trials=bench_trials,
+        base_seed=bench_seed,
+        search_rates=BENCH_RATES,
+    )
+    print()
+    print(result.table)
+
+    means = result.data["mean_loss_db"]
+    # Averaged across the sweep, Proposed is the best (or tied-best) scheme.
+    averages = {name: float(np.mean(series)) for name, series in means.items()}
+    assert averages["Proposed"] <= averages["Random"] + 0.5
+    assert averages["Proposed"] <= averages["Scan"] + 0.5
+    # More budget helps every scheme.
+    for series in means.values():
+        assert series[-1] <= series[0] + 0.5

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 6 (multipath search effectiveness)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig6
+
+BENCH_RATES = (0.05, 0.10, 0.20, 0.30)
+
+
+def test_fig6_multipath_effectiveness(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark,
+        run_fig6,
+        num_trials=bench_trials,
+        base_seed=bench_seed,
+        search_rates=BENCH_RATES,
+    )
+    print()
+    print(result.table)
+
+    means = result.data["mean_loss_db"]
+    averages = {name: float(np.mean(series)) for name, series in means.items()}
+    assert averages["Proposed"] <= averages["Random"] + 0.5
+    assert averages["Proposed"] <= averages["Scan"] + 0.5
+    for series in means.values():
+        assert series[-1] <= series[0] + 0.5

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 8 (multipath cost efficiency)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_fig8
+
+BENCH_RATES = (0.05, 0.10, 0.20, 0.30, 0.50)
+BENCH_TARGETS = (1.0, 2.0, 3.0, 4.0, 6.0)
+
+
+def test_fig8_multipath_cost(benchmark, bench_trials, bench_seed):
+    result = run_once(
+        benchmark,
+        run_fig8,
+        num_trials=bench_trials,
+        base_seed=bench_seed,
+        search_rates=BENCH_RATES,
+        target_losses_db=BENCH_TARGETS,
+    )
+    print()
+    print(result.table)
+
+    required = result.data["required_rates"]
+    for series in required.values():
+        assert all(b <= a + 1e-12 for a, b in zip(series, series[1:]))
+    averages = {name: float(np.mean(series)) for name, series in required.items()}
+    assert averages["Proposed"] <= averages["Random"] + 0.05
+    assert averages["Proposed"] <= averages["Scan"] + 0.05

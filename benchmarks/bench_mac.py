@@ -1,0 +1,40 @@
+"""Benchmarks: MAC-level experiments.
+
+``mac-overhead`` regenerates the motivating trade-off of the paper's
+introduction (training time vs beamforming quality -> an interior optimum
+of effective capacity); ``cell-search`` regenerates the directional
+initial-access latency context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_cell_search, run_mac_overhead
+
+
+def test_mac_overhead_tradeoff(benchmark, bench_seed):
+    result = run_once(benchmark, run_mac_overhead, num_intervals=8, base_seed=bench_seed)
+    print()
+    print(result.table)
+
+    rates = result.data["search_rates"]
+    for name, payload in result.data["schemes"].items():
+        overheads = payload["overhead"]
+        # Overhead grows with search rate.
+        assert all(b >= a - 1e-9 for a, b in zip(overheads, overheads[1:]))
+        # Net throughput is not maximized by burning the whole coherence
+        # interval on training: the largest rate is not the best.
+        nets = payload["net_bps_hz"]
+        assert np.argmax(nets) < len(rates) - 1
+
+
+def test_cell_search_latency(benchmark, bench_seed):
+    result = run_once(benchmark, run_cell_search, num_trials=60, base_seed=bench_seed)
+    print()
+    print(result.table)
+    strategies = result.data["strategies"]
+    for payload in strategies.values():
+        assert payload["detection_rate"] > 0.5
+        assert np.isfinite(payload["mean_latency_us"])

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the hot computational kernels.
+
+These measure the per-call cost of the pieces that dominate a figure
+sweep — measurement draws, covariance estimation, and codebook gain
+evaluation — so performance regressions are visible without re-running a
+whole Monte-Carlo figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.upa import UniformPlanarArray
+from repro.channel.multipath import sample_nyc_channel
+from repro.estimation.ml_covariance import estimate_ml_covariance
+from repro.measurement.measurer import MeasurementEngine
+from repro.types import BeamPair
+from repro.utils.linalg import random_psd
+
+
+@pytest.fixture(scope="module")
+def paper_setup():
+    tx_array = UniformPlanarArray(4, 4)
+    rx_array = UniformPlanarArray(8, 8)
+    tx_codebook = Codebook.for_array(tx_array)
+    rx_codebook = Codebook.grid(rx_array, n_azimuth=12, n_elevation=12)
+    channel = sample_nyc_channel(tx_array, rx_array, np.random.default_rng(0))
+    return tx_codebook, rx_codebook, channel
+
+
+def test_measurement_throughput(benchmark, paper_setup):
+    """One beam-pair measurement (8 fading blocks) on the paper arrays."""
+    tx_codebook, rx_codebook, channel = paper_setup
+    engine = MeasurementEngine(channel, np.random.default_rng(1), fading_blocks=8)
+    pair = BeamPair(3, 40)
+
+    benchmark(lambda: engine.measure_pair(tx_codebook, rx_codebook, pair))
+
+
+def test_ml_estimation_latency(benchmark, paper_setup):
+    """One per-slot penalized-ML covariance solve (J-1 = 7 probes, N = 64)."""
+    _, rx_codebook, channel = paper_setup
+    rng = np.random.default_rng(2)
+    probes = rx_codebook.vectors[:, rng.choice(rx_codebook.num_beams, 7, replace=False)]
+    powers = np.abs(rng.normal(size=7)) * 0.1 + 0.01
+
+    benchmark(lambda: estimate_ml_covariance(probes, powers, 0.01))
+
+
+def test_codebook_gain_evaluation(benchmark, paper_setup):
+    """v^H Q v over all 144 RX beams (the Eq. 26 argmax inner loop)."""
+    _, rx_codebook, _ = paper_setup
+    q = random_psd(64, 3, np.random.default_rng(3))
+
+    benchmark(lambda: rx_codebook.gains(q))
+
+
+def test_mean_snr_matrix(benchmark, paper_setup):
+    """Exact 16x144 mean-SNR matrix (the ground-truth oracle per trial)."""
+    tx_codebook, rx_codebook, channel = paper_setup
+
+    benchmark(lambda: channel.mean_snr_matrix(tx_codebook, rx_codebook))
+
+
+def test_channel_sampling(benchmark, paper_setup):
+    """One full 64x16 fading realization."""
+    _, _, channel = paper_setup
+    rng = np.random.default_rng(4)
+
+    benchmark(lambda: channel.sample(rng))

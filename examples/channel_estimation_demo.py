@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Inside the estimator: from a handful of power measurements to a beam.
+
+Walks through the covariance-estimation pipeline the proposed scheme runs
+every TX-slot (paper Sec. IV-A/B), across several slots, to show the
+mechanism that makes it work:
+
+1. draw a NYC-style multipath channel;
+2. per TX-slot, measure J-1 = 7 RX probe beams (noisy powers
+   w_j = |z_j|^2, Eq. 11) — random in the first slot, guided by the
+   previous slot's covariance estimate afterwards (Sec. IV-B2);
+3. estimate the RX covariance by penalized ML (Eq. 23, warm-started
+   across slots) and decide the J-th beam by Eq. (26);
+4. report how far each slot's decided beam is from the slot's true best.
+
+Run:  python examples/channel_estimation_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Codebook,
+    MeasurementEngine,
+    MlCovarianceEstimator,
+    UniformPlanarArray,
+    low_rank_summary,
+    sample_nyc_channel,
+)
+from repro.types import BeamPair
+from repro.utils.linalg import linear_to_db
+
+NUM_SLOTS = 10
+PROBES_PER_SLOT = 7
+
+
+def main() -> None:
+    rng = np.random.default_rng(seed=2)
+    tx_array = UniformPlanarArray(4, 4)
+    rx_array = UniformPlanarArray(8, 8)
+    tx_codebook = Codebook.for_array(tx_array)
+    rx_codebook = Codebook.grid(rx_array, n_azimuth=12, n_elevation=12)
+
+    channel = sample_nyc_channel(tx_array, rx_array, rng, snr=100.0)
+    print(f"Channel: {channel}")
+
+    # --- the low-rank property (Sec. IV-A1) ---------------------------
+    summary = low_rank_summary(channel.full_rx_covariance())
+    print(f"RX covariance structure: {summary.as_row()}")
+    print()
+
+    engine = MeasurementEngine(channel, rng, fading_blocks=8)
+    estimator = MlCovarianceEstimator()
+    gain_floor = 0.5 * engine.noise_variance
+    estimate = None
+
+    tx_order = rng.permutation(tx_codebook.num_beams)
+    print(f"{'slot':>4s} {'tx':>3s} {'probe source':>13s} "
+          f"{'decided rx':>10s} {'true best':>9s} {'gap (dB)':>8s}")
+    for slot in range(NUM_SLOTS):
+        tx_index = int(tx_order[slot])
+        tx_beam = tx_codebook.beam(tx_index)
+        true_gains = rx_codebook.gains(channel.rx_covariance(tx_beam))
+        true_best = int(np.argmax(true_gains))
+
+        # Probe-beam selection: exploit the previous estimate where it
+        # clears the noise floor, explore randomly otherwise.
+        if estimate is not None:
+            gains = rx_codebook.gains(estimate)
+            ranked = np.argsort(gains)[::-1]
+            exploited = [int(b) for b in ranked[:PROBES_PER_SLOT] if gains[b] > gain_floor]
+        else:
+            exploited = []
+        source = "estimate" if exploited else "random"
+        fill = rng.choice(
+            [b for b in range(rx_codebook.num_beams) if b not in exploited],
+            size=PROBES_PER_SLOT - len(exploited),
+            replace=False,
+        )
+        probe_beams = exploited + [int(b) for b in fill]
+
+        powers = np.array(
+            [
+                engine.measure_pair(
+                    tx_codebook, rx_codebook, BeamPair(tx_index, b)
+                ).power
+                for b in probe_beams
+            ]
+        )
+        estimate = estimator.estimate(
+            rx_codebook.vectors[:, probe_beams], powers, engine.noise_variance
+        )
+
+        decided = rx_codebook.best_beam(estimate, exclude=set(probe_beams))
+        gap_db = linear_to_db(true_gains[true_best] / max(true_gains[decided], 1e-30))
+        print(
+            f"{slot:4d} {tx_index:3d} {source:>13s} {decided:10d}"
+            f" {true_best:9d} {gap_db:8.2f}"
+        )
+
+    print()
+    print("Slot 0 probes blindly (large gap); once a probe lands energy above")
+    print("the noise floor, the warm-started ML estimate locks onto the dominant")
+    print("cluster and the decided beam falls within ~1-2 dB of the per-slot")
+    print("optimum. Slots whose random TX beam misses the cluster see noise")
+    print("again and fall back to exploration - exactly Algorithm 1's behavior.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e . --no-build-isolation`` / ``setup.py develop``
+paths on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

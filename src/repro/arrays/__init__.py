@@ -1,0 +1,30 @@
+"""Antenna arrays, steering vectors, and beam codebooks."""
+
+from repro.arrays.beampattern import (
+    PatternStats,
+    analyze_pattern,
+    array_factor,
+    pattern_cut_db,
+)
+from repro.arrays.codebook import Codebook
+from repro.arrays.geometry import ArrayGeometry
+from repro.arrays.hierarchical import HierarchicalCodebook, WideBeam
+from repro.arrays.steering import direction_unit_vector, steering_matrix, steering_vector
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+
+__all__ = [
+    "PatternStats",
+    "analyze_pattern",
+    "array_factor",
+    "pattern_cut_db",
+    "ArrayGeometry",
+    "Codebook",
+    "HierarchicalCodebook",
+    "WideBeam",
+    "UniformLinearArray",
+    "UniformPlanarArray",
+    "direction_unit_vector",
+    "steering_matrix",
+    "steering_vector",
+]

@@ -1,0 +1,74 @@
+"""Antenna-array geometries.
+
+An array geometry is fully described by its element positions, expressed in
+carrier wavelengths. Steering phases follow from positions alone, so both
+uniform linear arrays (1-D) and uniform planar arrays (2-D, the paper's
+4x4 TX / 8x8 RX configuration) share one implementation of the steering
+vector (see :mod:`repro.arrays.steering`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ArrayGeometry"]
+
+
+class ArrayGeometry(abc.ABC):
+    """Base class for antenna arrays.
+
+    Subclasses provide element positions (in wavelengths, shape
+    ``(num_elements, 3)``) laid out in a fixed, documented element order so
+    that beamforming weight vectors are unambiguous.
+    """
+
+    def __init__(self, positions: np.ndarray, name: str) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValidationError(
+                f"positions must have shape (num_elements, 3), got {positions.shape}"
+            )
+        if positions.shape[0] < 1:
+            raise ValidationError("an array needs at least one element")
+        self._positions = positions
+        self._positions.setflags(write=False)
+        self._name = str(name)
+
+    @property
+    def num_elements(self) -> int:
+        """Number of antenna elements (the beamforming-vector length)."""
+        return int(self._positions.shape[0])
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Element positions in wavelengths, shape ``(num_elements, 3)``."""
+        return self._positions
+
+    @property
+    def name(self) -> str:
+        """Human-readable array description."""
+        return self._name
+
+    @property
+    @abc.abstractmethod
+    def grid_shape(self) -> Tuple[int, ...]:
+        """Logical grid shape of the element layout (e.g. ``(8, 8)``)."""
+
+    @property
+    def aperture(self) -> float:
+        """Largest pairwise element distance, in wavelengths."""
+        if self.num_elements == 1:
+            return 0.0
+        spans = self._positions.max(axis=0) - self._positions.min(axis=0)
+        return float(np.linalg.norm(spans))
+
+    def __len__(self) -> int:
+        return self.num_elements
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self._name!r}, elements={self.num_elements})"

@@ -1,0 +1,273 @@
+"""Multi-resolution (hierarchical) beam codebooks.
+
+Hur et al. [11] — one of the baselines the paper discusses — align beams
+by descending a hierarchy of progressively narrower beams: measure a few
+wide sector beams, pick the best, then refine within it. This module
+builds such a hierarchy on top of a flat :class:`~repro.arrays.codebook.
+Codebook`.
+
+Wide beams are synthesized with the classic *sub-array deactivation*
+technique: a contiguous sub-array of ``s`` elements (per axis) steered to
+the block center has a sine-space beamwidth of roughly ``2 / s``, so a
+block covering a fraction ``f`` of sine space uses ``s ~ 1 / f`` elements;
+the remaining elements get zero weight. The vector stays unit-norm, so
+wide beams trade peak gain for coverage exactly as real analog front ends
+do — which is why hierarchical search needs higher SNR to be reliable, a
+trade-off the benchmarks expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.exceptions import ValidationError
+
+__all__ = ["WideBeam", "HierarchicalCodebook"]
+
+
+@dataclass(frozen=True)
+class _AxisBlock:
+    """A contiguous block of per-axis beam indices at one hierarchy level."""
+
+    start: int
+    stop: int  # exclusive
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def halves(self) -> List["_AxisBlock"]:
+        """Split into (up to) two child blocks; singletons self-replicate."""
+        if self.size <= 1:
+            return [self]
+        middle = self.start + self.size // 2
+        return [_AxisBlock(self.start, middle), _AxisBlock(middle, self.stop)]
+
+
+@dataclass(frozen=True)
+class WideBeam:
+    """One node of the beam hierarchy.
+
+    ``vector`` is the unit-norm beamforming vector; ``covers`` is the set
+    of *base-codebook* beam indices inside this node's angular support;
+    ``children`` are node indices at the next (finer) level, empty at the
+    leaf level.
+    """
+
+    level: int
+    index: int
+    vector: np.ndarray
+    covers: FrozenSet[int]
+    children: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not np.isclose(np.linalg.norm(self.vector), 1.0, atol=1e-8):
+            raise ValidationError("wide beams must be unit-norm")
+        if not self.covers:
+            raise ValidationError("a wide beam must cover at least one base beam")
+
+
+def _axis_level_blocks(n_beams: int, depth: int) -> List[List[_AxisBlock]]:
+    """Blocks per level for one axis: level 0 is the whole axis."""
+    levels = [[_AxisBlock(0, n_beams)]]
+    for _ in range(depth - 1):
+        next_level: List[_AxisBlock] = []
+        for block in levels[-1]:
+            next_level.extend(block.halves())
+        levels.append(next_level)
+    return levels
+
+
+def _axis_wide_vector(
+    block: _AxisBlock,
+    axis_sines: np.ndarray,
+    axis_elements: int,
+    spacing: float,
+) -> np.ndarray:
+    """Per-axis sub-array weight vector covering ``block`` (not normalized).
+
+    The sub-array size matches the block's sine-space width; the phase
+    progression steers the sub-array at the block-center sine.
+    """
+    n_beams = len(axis_sines)
+    center_sine = float(np.mean(axis_sines[block.start : block.stop]))
+    subarray = max(1, min(axis_elements, round(n_beams / block.size)))
+    weights = np.zeros(axis_elements, dtype=complex)
+    indices = np.arange(subarray)
+    weights[:subarray] = np.exp(1j * 2.0 * np.pi * spacing * indices * center_sine)
+    return weights
+
+
+class HierarchicalCodebook:
+    """A tree of wide beams refining down to a flat base codebook.
+
+    Level 0 holds the widest sector beams; each following level halves the
+    angular support per axis; the final level contains exactly the base
+    codebook's beams so a hierarchical search terminates on a flat beam
+    index comparable with the other schemes.
+    """
+
+    def __init__(self, base: Codebook) -> None:
+        array = base.array
+        if isinstance(array, UniformPlanarArray):
+            axis_elements = (array.rows, array.cols)
+            spacing = array.spacing
+        elif isinstance(array, UniformLinearArray):
+            axis_elements = (1, array.num_elements)
+            spacing = array.spacing
+        else:
+            raise ValidationError(
+                f"hierarchical codebooks require ULA/UPA, got {type(array).__name__}"
+            )
+        self._base = base
+        rows, cols = base.grid_shape
+        depth = max(_depth_for(rows), _depth_for(cols))
+        el_levels = _axis_level_blocks(rows, depth)
+        az_levels = _axis_level_blocks(cols, depth)
+
+        el_sines = _axis_sines(base, axis="elevation")
+        az_sines = _axis_sines(base, axis="azimuth")
+
+        self._levels: List[List[WideBeam]] = []
+        for level in range(depth):
+            beams: List[WideBeam] = []
+            el_blocks = el_levels[level]
+            az_blocks = az_levels[level]
+            is_leaf = level == depth - 1
+            for el_pos, el_block in enumerate(el_blocks):
+                for az_pos, az_block in enumerate(az_blocks):
+                    covers = frozenset(
+                        base.beam_index(row, col)
+                        for row in range(el_block.start, el_block.stop)
+                        for col in range(az_block.start, az_block.stop)
+                    )
+                    if is_leaf and len(covers) == 1:
+                        vector = base.beam(next(iter(covers)))
+                    else:
+                        vector = _planar_wide_vector(
+                            el_block,
+                            az_block,
+                            el_sines,
+                            az_sines,
+                            axis_elements,
+                            spacing,
+                        )
+                    children: Tuple[int, ...] = ()
+                    if not is_leaf:
+                        children = _child_indices(
+                            el_pos,
+                            az_pos,
+                            el_blocks,
+                            az_blocks,
+                            el_levels[level + 1],
+                            az_levels[level + 1],
+                        )
+                    beams.append(
+                        WideBeam(
+                            level=level,
+                            index=len(beams),
+                            vector=vector,
+                            covers=covers,
+                            children=children,
+                        )
+                    )
+            self._levels.append(beams)
+
+    @property
+    def base(self) -> Codebook:
+        """The flat codebook the hierarchy refines into."""
+        return self._base
+
+    @property
+    def depth(self) -> int:
+        """Number of levels (level 0 is coarsest)."""
+        return len(self._levels)
+
+    def level(self, index: int) -> List[WideBeam]:
+        """All wide beams at a level."""
+        if not 0 <= index < self.depth:
+            raise ValidationError(f"level must be in [0, {self.depth}), got {index}")
+        return list(self._levels[index])
+
+    def leaf_beam_index(self, beam: WideBeam) -> int:
+        """Map a leaf-level wide beam to its base-codebook beam index."""
+        if beam.level != self.depth - 1 or len(beam.covers) != 1:
+            raise ValidationError("only singleton leaf beams map to base beams")
+        return next(iter(beam.covers))
+
+    def __repr__(self) -> str:
+        sizes = "/".join(str(len(level)) for level in self._levels)
+        return f"HierarchicalCodebook(levels={sizes}, base={self._base.name!r})"
+
+
+def _depth_for(count: int) -> int:
+    """Levels needed so recursive bisection reaches singleton blocks."""
+    depth = 1
+    size = count
+    while size > 1:
+        size = (size + 1) // 2
+        depth += 1
+    return depth
+
+
+def _axis_sines(base: Codebook, axis: str) -> np.ndarray:
+    """Per-axis steering sines of the base beam grid."""
+    rows, cols = base.grid_shape
+    if axis == "elevation":
+        return np.array(
+            [np.sin(base.direction(base.beam_index(row, 0)).elevation) for row in range(rows)]
+        )
+    return np.array(
+        [np.sin(base.direction(base.beam_index(0, col)).azimuth) for col in range(cols)]
+    )
+
+
+def _planar_wide_vector(
+    el_block: _AxisBlock,
+    az_block: _AxisBlock,
+    el_sines: np.ndarray,
+    az_sines: np.ndarray,
+    axis_elements: Tuple[int, int],
+    spacing: float,
+) -> np.ndarray:
+    """Kronecker-combine per-axis sub-array weights into a planar vector."""
+    rows, cols = axis_elements
+    el_weights = (
+        _axis_wide_vector(el_block, el_sines, rows, spacing)
+        if rows > 1
+        else np.ones(1, dtype=complex)
+    )
+    az_weights = _axis_wide_vector(az_block, az_sines, cols, spacing)
+    planar = np.outer(el_weights, az_weights).ravel()
+    return planar / np.linalg.norm(planar)
+
+
+def _child_indices(
+    el_pos: int,
+    az_pos: int,
+    el_blocks: Sequence[_AxisBlock],
+    az_blocks: Sequence[_AxisBlock],
+    next_el_blocks: Sequence[_AxisBlock],
+    next_az_blocks: Sequence[_AxisBlock],
+) -> Tuple[int, ...]:
+    """Node indices (next level) refining block ``(el_pos, az_pos)``."""
+    parent_el = el_blocks[el_pos]
+    parent_az = az_blocks[az_pos]
+    child_el = [
+        idx
+        for idx, block in enumerate(next_el_blocks)
+        if parent_el.start <= block.start and block.stop <= parent_el.stop
+    ]
+    child_az = [
+        idx
+        for idx, block in enumerate(next_az_blocks)
+        if parent_az.start <= block.start and block.stop <= parent_az.stop
+    ]
+    width = len(next_az_blocks)
+    return tuple(el * width + az for el in child_el for az in child_az)

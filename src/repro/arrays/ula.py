@@ -1,0 +1,41 @@
+"""Uniform linear array (ULA)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import ArrayGeometry
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = ["UniformLinearArray"]
+
+
+class UniformLinearArray(ArrayGeometry):
+    """A 1-D array of equally spaced elements along the x-axis.
+
+    Element ``m`` sits at ``(m * spacing, 0, 0)`` wavelengths; the default
+    half-wavelength spacing is the paper's ``lambda/2`` configuration and
+    avoids grating lobes over the full field of view.
+    """
+
+    def __init__(self, num_elements: int, spacing: float = 0.5) -> None:
+        if num_elements < 1:
+            raise ValidationError(f"num_elements must be >= 1, got {num_elements}")
+        spacing = check_positive(spacing, "spacing")
+        indices = np.arange(num_elements, dtype=float)
+        positions = np.zeros((num_elements, 3))
+        positions[:, 0] = indices * spacing
+        super().__init__(positions, name=f"ULA-{num_elements}")
+        self._spacing = spacing
+
+    @property
+    def spacing(self) -> float:
+        """Inter-element spacing in wavelengths."""
+        return self._spacing
+
+    @property
+    def grid_shape(self) -> Tuple[int, ...]:
+        return (self.num_elements,)

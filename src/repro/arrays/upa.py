@@ -1,0 +1,69 @@
+"""Uniform planar array (UPA)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import ArrayGeometry
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = ["UniformPlanarArray"]
+
+
+class UniformPlanarArray(ArrayGeometry):
+    """A 2-D grid of elements in the x-z plane.
+
+    The paper's simulation uses a 4x4 UPA at the transmitter and an 8x8 UPA
+    at the receiver, both with ``lambda/2`` spacing (Sec. V-A). Element
+    ``(row, col)`` — ``row`` indexing the vertical (z) axis, ``col`` the
+    horizontal (x) axis — sits at ``(col * spacing, 0, row * spacing)`` and
+    maps to flat index ``row * cols + col``. Azimuth steers along x,
+    elevation along z.
+    """
+
+    def __init__(self, rows: int, cols: int, spacing: float = 0.5) -> None:
+        if rows < 1 or cols < 1:
+            raise ValidationError(f"rows and cols must be >= 1, got {rows}x{cols}")
+        spacing = check_positive(spacing, "spacing")
+        row_index, col_index = np.meshgrid(
+            np.arange(rows, dtype=float),
+            np.arange(cols, dtype=float),
+            indexing="ij",
+        )
+        positions = np.zeros((rows * cols, 3))
+        positions[:, 0] = col_index.ravel() * spacing
+        positions[:, 2] = row_index.ravel() * spacing
+        super().__init__(positions, name=f"UPA-{rows}x{cols}")
+        self._rows = int(rows)
+        self._cols = int(cols)
+        self._spacing = spacing
+
+    @property
+    def rows(self) -> int:
+        """Number of rows (vertical axis)."""
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        """Number of columns (horizontal axis)."""
+        return self._cols
+
+    @property
+    def spacing(self) -> float:
+        """Inter-element spacing in wavelengths (both axes)."""
+        return self._spacing
+
+    @property
+    def grid_shape(self) -> Tuple[int, ...]:
+        return (self._rows, self._cols)
+
+    def flat_index(self, row: int, col: int) -> int:
+        """Map a (row, col) element coordinate to its flat index."""
+        if not (0 <= row < self._rows and 0 <= col < self._cols):
+            raise ValidationError(
+                f"element ({row}, {col}) outside {self._rows}x{self._cols} grid"
+            )
+        return row * self._cols + col

@@ -1,0 +1,22 @@
+"""Baseline beam-alignment schemes the paper compares against."""
+
+from repro.baselines.digital_rx import DigitalRxSearch
+from repro.baselines.exhaustive import ExhaustiveSearch
+from repro.baselines.genie import GenieAligner
+from repro.baselines.hierarchical_search import HierarchicalSearch
+from repro.baselines.local_refine import LocalRefineSearch
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.scan_search import ScanSearch, pair_scan_path
+from repro.baselines.ucb import UcbSearch
+
+__all__ = [
+    "DigitalRxSearch",
+    "ExhaustiveSearch",
+    "GenieAligner",
+    "HierarchicalSearch",
+    "LocalRefineSearch",
+    "RandomSearch",
+    "ScanSearch",
+    "pair_scan_path",
+    "UcbSearch",
+]

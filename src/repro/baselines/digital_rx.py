@@ -1,0 +1,78 @@
+"""Digital-RX beam search: one dwell per TX beam.
+
+With a fully digital receiver (see :mod:`repro.measurement.digital`), a
+single dwell on TX beam ``u`` yields the whole received vector, and every
+RX codebook beam is evaluated in software. The search over ``T = |U| x
+|V|`` pairs collapses to a sweep over ``|U|`` TX beams. Each dwell costs
+one budget unit — the same airtime as one analog measurement — so at
+equal Search Rate this scheme bounds what better *hardware* (rather than
+a better algorithm) buys.
+
+The scheme reports the best (TX dwell, software-argmax RX beam) pair; if
+budget remains, it confirms that pair with a real analog measurement so
+the reported power is comparable with the other schemes'.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import AlignmentContext, BeamAlignmentAlgorithm
+from repro.core.result import AlignmentResult
+from repro.measurement.digital import beam_powers_from_observations, observe_rx_vector
+from repro.types import BeamPair
+
+__all__ = ["DigitalRxSearch"]
+
+
+class DigitalRxSearch(BeamAlignmentAlgorithm):
+    """Random TX sweep with software RX beamforming per dwell."""
+
+    name = "DigitalRx"
+
+    def __init__(self, fading_blocks: int = 8) -> None:
+        self._fading_blocks = max(1, int(fading_blocks))
+
+    def align(
+        self,
+        context: AlignmentContext,
+        rng: np.random.Generator,
+    ) -> AlignmentResult:
+        tx_codebook = context.tx_codebook
+        rx_codebook = context.rx_codebook
+        channel = context.engine.channel
+
+        best_pair: Optional[BeamPair] = None
+        best_power = -np.inf
+        tx_order = rng.permutation(tx_codebook.num_beams)
+        dwells = min(context.budget.remaining - 1, tx_codebook.num_beams)
+        dwells = max(1, dwells)
+        for tx_index in tx_order[:dwells]:
+            context.budget.charge(1)
+            observations = observe_rx_vector(
+                channel,
+                tx_codebook.beam(int(tx_index)),
+                rng,
+                fading_blocks=self._fading_blocks,
+            )
+            powers = beam_powers_from_observations(observations, rx_codebook.vectors)
+            rx_index = int(np.argmax(powers))
+            if powers[rx_index] > best_power:
+                best_power = float(powers[rx_index])
+                best_pair = BeamPair(int(tx_index), rx_index)
+
+        assert best_pair is not None
+        if not context.budget.exhausted and not context.is_measured(best_pair):
+            context.measure(best_pair)
+            return context.result(self.name, selected=best_pair)
+        # Budget fully consumed by dwells: report the software decision.
+        return AlignmentResult(
+            algorithm=self.name,
+            selected=best_pair,
+            selected_power=best_power,
+            measurements_used=context.budget.spent,
+            total_pairs=context.total_pairs,
+            trace=context.trace,
+        )

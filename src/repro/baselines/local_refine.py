@@ -1,0 +1,132 @@
+"""Coarse-sample-then-refine search (divide-and-conquer, Li et al. [13]).
+
+Li et al. formulate best-pair finding as global optimization and attack
+it numerically: probe a coarse grid of the pair space, then refine around
+the best probe within a small region. Our implementation:
+
+1. **Coarse phase** — spend a configurable fraction of the budget on a
+   uniformly strided sub-grid of (TX, RX) pairs;
+2. **Refine phase** — greedy hill climbing on the pair lattice: measure
+   the unmeasured neighbor pairs (one-hop in TX *or* RX beam grid) of the
+   current best pair and move whenever an improvement appears, until the
+   budget is spent or a local optimum is reached; any leftover budget
+   falls back to random probing (restarts).
+
+Like the paper's schemes, selection is over measured pairs only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from repro.core.base import AlignmentContext, BeamAlignmentAlgorithm
+from repro.core.result import AlignmentResult
+from repro.exceptions import ValidationError
+from repro.types import BeamPair
+from repro.utils.validation import check_probability
+
+__all__ = ["LocalRefineSearch"]
+
+
+class LocalRefineSearch(BeamAlignmentAlgorithm):
+    """Strided coarse sampling followed by neighbor hill climbing."""
+
+    name = "LocalRefine"
+
+    def __init__(self, coarse_fraction: float = 0.5) -> None:
+        self._coarse_fraction = check_probability(coarse_fraction, "coarse_fraction")
+
+    def align(
+        self,
+        context: AlignmentContext,
+        rng: np.random.Generator,
+    ) -> AlignmentResult:
+        limit = context.budget.remaining
+        coarse_budget = max(1, int(round(self._coarse_fraction * limit)))
+        self._coarse_phase(context, coarse_budget, rng)
+        self._refine_phase(context, rng)
+        return context.result(self.name)
+
+    # ------------------------------------------------------------------
+
+    def _coarse_phase(
+        self,
+        context: AlignmentContext,
+        coarse_budget: int,
+        rng: np.random.Generator,
+    ) -> None:
+        """Uniform strided sub-grid of roughly ``coarse_budget`` pairs."""
+        n_tx = context.tx_codebook.num_beams
+        n_rx = context.rx_codebook.num_beams
+        # Choose per-side counts with the same aspect ratio as the grids.
+        tx_count = max(1, int(round(np.sqrt(coarse_budget * n_tx / n_rx))))
+        tx_count = min(tx_count, n_tx)
+        rx_count = max(1, min(n_rx, coarse_budget // tx_count))
+        tx_picks = np.unique(np.linspace(0, n_tx - 1, tx_count).round().astype(int))
+        rx_picks = np.unique(np.linspace(0, n_rx - 1, rx_count).round().astype(int))
+        for tx_index in tx_picks:
+            for rx_index in rx_picks:
+                if context.budget.exhausted:
+                    return
+                pair = BeamPair(int(tx_index), int(rx_index))
+                if not context.is_measured(pair):
+                    context.measure(pair)
+
+    def _refine_phase(
+        self,
+        context: AlignmentContext,
+        rng: np.random.Generator,
+    ) -> None:
+        """Hill climb from the best measured pair; random restarts after."""
+        while not context.budget.exhausted:
+            improved = self._climb_once(context)
+            if context.budget.exhausted:
+                return
+            if not improved:
+                # Local optimum: spend remaining budget on random restarts.
+                candidates = self._random_unmeasured(context, rng)
+                if candidates is None:
+                    return
+                context.measure(candidates)
+
+    def _climb_once(self, context: AlignmentContext) -> bool:
+        """Measure neighbors of the current best pair; report improvement."""
+        best = context.best_measured()
+        assert best.pair is not None
+        start_power = best.power
+        for pair in self._neighbor_pairs(context, best.pair):
+            if context.budget.exhausted:
+                break
+            if not context.is_measured(pair):
+                context.measure(pair)
+        return context.best_measured().power > start_power
+
+    @staticmethod
+    def _neighbor_pairs(context: AlignmentContext, pair: BeamPair) -> List[BeamPair]:
+        neighbors: List[BeamPair] = []
+        for tx_index in context.tx_codebook.neighbors(pair.tx_index):
+            neighbors.append(BeamPair(tx_index, pair.rx_index))
+        for rx_index in context.rx_codebook.neighbors(pair.rx_index):
+            neighbors.append(BeamPair(pair.tx_index, rx_index))
+        return neighbors
+
+    @staticmethod
+    def _random_unmeasured(
+        context: AlignmentContext,
+        rng: np.random.Generator,
+    ) -> BeamPair | None:
+        n_rx = context.rx_codebook.num_beams
+        total = context.total_pairs
+        # Rejection-sample; fall back to a linear sweep for dense coverage.
+        for _ in range(64):
+            flat = int(rng.integers(0, total))
+            pair = BeamPair(*divmod(flat, n_rx))
+            if not context.is_measured(pair):
+                return pair
+        for flat in range(total):
+            pair = BeamPair(*divmod(flat, n_rx))
+            if not context.is_measured(pair):
+                return pair
+        return None

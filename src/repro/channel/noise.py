@@ -1,0 +1,55 @@
+"""Thermal-noise and link-budget helpers.
+
+These convert the physical-layer quantities of a deployment (TX power,
+bandwidth, noise figure, path loss) into the single dimensionless knob the
+alignment algorithms care about: the pre-beamforming SNR
+``gamma = Es / N0`` of Eq. (15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "BOLTZMANN_CONSTANT",
+    "REFERENCE_TEMPERATURE_K",
+    "thermal_noise_dbm",
+    "link_snr_db",
+    "link_snr_linear",
+]
+
+BOLTZMANN_CONSTANT = 1.380649e-23  # J/K
+REFERENCE_TEMPERATURE_K = 290.0
+
+
+def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power ``k * T0 * B`` in dBm, plus the noise figure."""
+    bandwidth_hz = check_positive(bandwidth_hz, "bandwidth_hz")
+    noise_watts = BOLTZMANN_CONSTANT * REFERENCE_TEMPERATURE_K * bandwidth_hz
+    return float(10.0 * np.log10(noise_watts * 1e3) + noise_figure_db)
+
+
+def link_snr_db(
+    tx_power_dbm: float,
+    path_loss_db: float,
+    bandwidth_hz: float,
+    noise_figure_db: float = 0.0,
+) -> float:
+    """Pre-beamforming SNR in dB of an isotropic link."""
+    noise = thermal_noise_dbm(bandwidth_hz, noise_figure_db)
+    return float(tx_power_dbm - path_loss_db - noise)
+
+
+def link_snr_linear(
+    tx_power_dbm: float,
+    path_loss_db: float,
+    bandwidth_hz: float,
+    noise_figure_db: float = 0.0,
+) -> float:
+    """Pre-beamforming SNR (linear) — the ``gamma`` knob of the channel."""
+    return float(
+        10.0
+        ** (link_snr_db(tx_power_dbm, path_loss_db, bandwidth_hz, noise_figure_db) / 10.0)
+    )

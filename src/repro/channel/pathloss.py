@@ -1,0 +1,141 @@
+"""Path-loss and link-state models for mmWave links.
+
+Two models are provided:
+
+* :func:`friis_path_loss_db` — free-space (Friis) loss, quantifying the
+  paper's motivating observation that isotropic loss grows polynomially
+  with carrier frequency (Sec. I);
+* :class:`NycPathLoss` — the floating-intercept model fitted to the 28 and
+  73 GHz New York City measurements by Akdeniz et al. [3], the channel
+  source the paper's multipath evaluation builds on:
+  ``PL(d)[dB] = alpha + 10 * beta * log10(d) + xi``, ``xi ~ N(0, sigma^2)``
+  with distinct LOS/NLOS parameter sets, plus the distance-dependent
+  LOS/NLOS/outage state probabilities from the same paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "LinkState",
+    "friis_path_loss_db",
+    "NycPathLossParams",
+    "NYC_28GHZ_LOS",
+    "NYC_28GHZ_NLOS",
+    "NYC_73GHZ_LOS",
+    "NYC_73GHZ_NLOS",
+    "NycPathLoss",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+
+
+class LinkState(enum.Enum):
+    """Propagation state of a link."""
+
+    LOS = "los"
+    NLOS = "nlos"
+    OUTAGE = "outage"
+
+
+def friis_path_loss_db(distance_m: float, frequency_hz: float) -> float:
+    """Free-space path loss in dB (Friis), at ``distance_m`` / ``frequency_hz``."""
+    distance_m = check_positive(distance_m, "distance_m")
+    frequency_hz = check_positive(frequency_hz, "frequency_hz")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return float(20.0 * np.log10(4.0 * np.pi * distance_m / wavelength))
+
+
+@dataclass(frozen=True)
+class NycPathLossParams:
+    """Floating-intercept parameters ``(alpha, beta, sigma)`` of [3]."""
+
+    alpha_db: float
+    beta: float
+    shadowing_sigma_db: float
+
+    def __post_init__(self) -> None:
+        if self.shadowing_sigma_db < 0:
+            raise ValidationError("shadowing sigma must be >= 0")
+
+
+# Fitted values from Akdeniz et al., "Millimeter Wave Channel Modeling and
+# Cellular Capacity Evaluation", IEEE JSAC 2014 (Table I).
+NYC_28GHZ_LOS = NycPathLossParams(alpha_db=61.4, beta=2.0, shadowing_sigma_db=5.8)
+NYC_28GHZ_NLOS = NycPathLossParams(alpha_db=72.0, beta=2.92, shadowing_sigma_db=8.7)
+NYC_73GHZ_LOS = NycPathLossParams(alpha_db=69.8, beta=2.0, shadowing_sigma_db=5.8)
+NYC_73GHZ_NLOS = NycPathLossParams(alpha_db=82.7, beta=2.69, shadowing_sigma_db=7.7)
+
+# LOS / outage probability parameters from the same paper:
+#   p_outage(d) = max(0, 1 - exp(-a_out * d + b_out))
+#   p_los(d)    = (1 - p_outage(d)) * exp(-a_los * d)
+_A_OUT = 1.0 / 30.0
+_B_OUT = 5.2
+_A_LOS = 1.0 / 67.1
+
+
+class NycPathLoss:
+    """Distance-dependent NYC-style path loss with LOS/NLOS/outage states."""
+
+    def __init__(
+        self,
+        los: NycPathLossParams = NYC_28GHZ_LOS,
+        nlos: NycPathLossParams = NYC_28GHZ_NLOS,
+    ) -> None:
+        self._los = los
+        self._nlos = nlos
+
+    @property
+    def los_params(self) -> NycPathLossParams:
+        """LOS parameter set."""
+        return self._los
+
+    @property
+    def nlos_params(self) -> NycPathLossParams:
+        """NLOS parameter set."""
+        return self._nlos
+
+    def state_probabilities(self, distance_m: float) -> dict:
+        """``{LinkState: probability}`` at the given distance."""
+        distance_m = check_positive(distance_m, "distance_m")
+        p_out = max(0.0, 1.0 - float(np.exp(-_A_OUT * distance_m + _B_OUT)))
+        p_los = (1.0 - p_out) * float(np.exp(-_A_LOS * distance_m))
+        p_nlos = max(0.0, 1.0 - p_out - p_los)
+        return {LinkState.LOS: p_los, LinkState.NLOS: p_nlos, LinkState.OUTAGE: p_out}
+
+    def sample_state(self, distance_m: float, rng: np.random.Generator) -> LinkState:
+        """Draw the link state at ``distance_m``."""
+        probs = self.state_probabilities(distance_m)
+        states = [LinkState.LOS, LinkState.NLOS, LinkState.OUTAGE]
+        weights = np.array([probs[s] for s in states])
+        weights = weights / weights.sum()
+        return states[int(rng.choice(len(states), p=weights))]
+
+    def mean_path_loss_db(self, distance_m: float, state: LinkState) -> float:
+        """Median (no-shadowing) path loss in dB for a given state."""
+        distance_m = check_positive(distance_m, "distance_m")
+        if state is LinkState.OUTAGE:
+            return float("inf")
+        params = self._los if state is LinkState.LOS else self._nlos
+        return float(params.alpha_db + 10.0 * params.beta * np.log10(distance_m))
+
+    def sample_path_loss_db(
+        self,
+        distance_m: float,
+        state: LinkState,
+        rng: np.random.Generator,
+    ) -> float:
+        """Path loss in dB including lognormal shadowing."""
+        median = self.mean_path_loss_db(distance_m, state)
+        if not np.isfinite(median):
+            return median
+        params = self._los if state is LinkState.LOS else self._nlos
+        return float(median + rng.normal(scale=params.shadowing_sigma_db))

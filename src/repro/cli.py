@@ -1,0 +1,143 @@
+"""Command-line interface.
+
+::
+
+    repro list                      # enumerate experiments
+    repro run fig6                  # regenerate a figure's series
+    repro run fig6 --quick          # small/fast variant
+    repro run fig6 --trials 50 --seed 7 --json out.json
+    repro align --channel multipath --rate 0.1  # one alignment, verbose
+    repro report results/ --out REPORT.md       # fold saved JSONs into markdown
+
+Also reachable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import experiments
+from repro.sim.config import ChannelKind, ScenarioConfig
+from repro.sim.runner import run_trial, standard_schemes
+from repro.sim.scenario import Scenario
+from repro.utils.serialization import dump
+from repro.version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Directional beam alignment for mmWave cellular systems "
+            "(ICDCS 2016 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = commands.add_parser("list", help="list registered experiments")
+    list_cmd.set_defaults(handler=_handle_list)
+
+    run_cmd = commands.add_parser("run", help="run a registered experiment")
+    run_cmd.add_argument("experiment", help="experiment id (see `repro list`)")
+    run_cmd.add_argument("--quick", action="store_true", help="small/fast variant")
+    run_cmd.add_argument("--trials", type=int, default=None, help="override trial count")
+    run_cmd.add_argument("--seed", type=int, default=None, help="override base seed")
+    run_cmd.add_argument("--json", default=None, help="also write result data as JSON")
+    run_cmd.set_defaults(handler=_handle_run)
+
+    report_cmd = commands.add_parser(
+        "report", help="render a markdown report from saved result JSONs"
+    )
+    report_cmd.add_argument("directory", help="directory of <experiment>.json files")
+    report_cmd.add_argument("--out", default=None, help="write markdown here (default: stdout)")
+    report_cmd.set_defaults(handler=_handle_report)
+
+    align_cmd = commands.add_parser("align", help="run one alignment trial verbosely")
+    align_cmd.add_argument(
+        "--channel",
+        choices=[kind.value for kind in ChannelKind],
+        default=ChannelKind.MULTIPATH.value,
+    )
+    align_cmd.add_argument("--rate", type=float, default=0.1, help="search rate (0, 1]")
+    align_cmd.add_argument("--snr-db", type=float, default=20.0)
+    align_cmd.add_argument("--seed", type=int, default=0)
+    align_cmd.set_defaults(handler=_handle_align)
+
+    return parser
+
+
+def _handle_list(args: argparse.Namespace) -> int:
+    for experiment_id in experiments.list_ids():
+        experiment = experiments.get(experiment_id)
+        print(f"{experiment_id:14s} {experiment.paper_artifact:30s} {experiment.title}")
+    return 0
+
+
+def _handle_run(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.quick:
+        overrides["quick"] = True
+    if args.trials is not None:
+        overrides["num_trials"] = args.trials
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    result = experiments.run(args.experiment, **overrides)
+    print(result.table)
+    if args.json:
+        dump({"id": result.experiment_id, "title": result.title, "data": result.data}, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _handle_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import collect_results, render_report
+
+    text = render_report(collect_results(args.directory))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _handle_align(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        ScenarioConfig(channel=ChannelKind(args.channel), snr_db=args.snr_db)
+    )
+    print(scenario)
+    outcomes = run_trial(
+        scenario,
+        standard_schemes(),
+        search_rate=args.rate,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(f"{'scheme':10s} {'pair':>12s} {'loss dB':>8s} {'measured':>9s}")
+    for name, outcome in outcomes.items():
+        pair = outcome.result.selected
+        print(
+            f"{name:10s} ({pair.tx_index:3d},{pair.rx_index:4d})"
+            f" {outcome.loss_db:8.2f} {outcome.result.measurements_used:9d}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Core contribution: the adaptive beam-alignment algorithm and interfaces."""
+
+from repro.core.base import AlignmentContext, BeamAlignmentAlgorithm
+from repro.core.bidirectional import BidirectionalAlignment
+from repro.core.policies import (
+    RandomTxPolicy,
+    RoundRobinTxPolicy,
+    SnakeTxPolicy,
+    TxBeamPolicy,
+)
+from repro.core.proposed import ProposedAlignment
+from repro.core.result import AlignmentResult, SlotRecord
+
+__all__ = [
+    "AlignmentContext",
+    "BeamAlignmentAlgorithm",
+    "BidirectionalAlignment",
+    "RandomTxPolicy",
+    "RoundRobinTxPolicy",
+    "SnakeTxPolicy",
+    "TxBeamPolicy",
+    "ProposedAlignment",
+    "AlignmentResult",
+    "SlotRecord",
+]

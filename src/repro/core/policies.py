@@ -1,0 +1,89 @@
+"""TX-beam selection policies for slotted alignment schemes.
+
+The paper randomly selects the TX beam in each TX-slot without repetition
+(Sec. IV-B2); alternative policies are provided for ablation — a
+deterministic snake sweep (spatially smooth, cheap for hardware that
+dislikes large phase jumps) and a plain round robin.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Set
+
+import numpy as np
+
+from repro.arrays.codebook import Codebook
+from repro.exceptions import ValidationError
+
+__all__ = ["TxBeamPolicy", "RandomTxPolicy", "SnakeTxPolicy", "RoundRobinTxPolicy"]
+
+
+class TxBeamPolicy(abc.ABC):
+    """Chooses the TX beam for each TX-slot."""
+
+    @abc.abstractmethod
+    def next_beam(
+        self,
+        slot: int,
+        codebook: Codebook,
+        used: Set[int],
+        rng: np.random.Generator,
+    ) -> int:
+        """Pick the TX beam index for ``slot`` avoiding ``used`` if possible.
+
+        When every beam has been used already, policies cycle — the
+        *pair* dedup still guarantees no repeated measurement because the
+        RX side has unmeasured beams left in that case.
+        """
+
+
+def _available(codebook: Codebook, used: Set[int]) -> List[int]:
+    remaining = [index for index in range(codebook.num_beams) if index not in used]
+    return remaining if remaining else list(range(codebook.num_beams))
+
+
+class RandomTxPolicy(TxBeamPolicy):
+    """Uniform random TX beam without repetition (the paper's choice)."""
+
+    def next_beam(
+        self,
+        slot: int,
+        codebook: Codebook,
+        used: Set[int],
+        rng: np.random.Generator,
+    ) -> int:
+        choices = _available(codebook, used)
+        return int(rng.choice(choices))
+
+
+class SnakeTxPolicy(TxBeamPolicy):
+    """Deterministic boustrophedon sweep over the TX beam grid."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValidationError(f"start must be >= 0, got {start}")
+        self._start = start
+
+    def next_beam(
+        self,
+        slot: int,
+        codebook: Codebook,
+        used: Set[int],
+        rng: np.random.Generator,
+    ) -> int:
+        order = codebook.snake_order(self._start % codebook.num_beams)
+        return order[slot % len(order)]
+
+
+class RoundRobinTxPolicy(TxBeamPolicy):
+    """Index-order sweep over the TX codebook."""
+
+    def next_beam(
+        self,
+        slot: int,
+        codebook: Codebook,
+        used: Set[int],
+        rng: np.random.Generator,
+    ) -> int:
+        return slot % codebook.num_beams

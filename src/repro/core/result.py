@@ -1,0 +1,67 @@
+"""Alignment outcomes and traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.exceptions import ValidationError
+from repro.measurement.measurer import Measurement
+from repro.types import BeamPair
+
+__all__ = ["SlotRecord", "AlignmentResult"]
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """What happened in one TX-slot of an adaptive scheme.
+
+    ``probe_rx_beams`` are the first ``J-1`` measurement directions,
+    ``decided_rx_beam`` the estimation-driven J-th direction (Eq. 26), and
+    ``estimator_converged`` whether the covariance solve hit its
+    tolerance (a diagnostic, not a correctness gate).
+    """
+
+    slot: int
+    tx_beam: int
+    probe_rx_beams: Tuple[int, ...]
+    decided_rx_beam: Optional[int]
+    estimator_converged: Optional[bool] = None
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of one beam-alignment run.
+
+    ``selected`` is the pair the scheme reports (Eq. 30: the best
+    *measured* pair by measured power); evaluation against the true
+    channel (SNR loss, Eq. 31) is the harness's job, since the algorithm
+    must not peek at ground truth.
+    """
+
+    algorithm: str
+    selected: BeamPair
+    selected_power: float
+    measurements_used: int
+    total_pairs: int
+    trace: List[Measurement] = field(default_factory=list)
+    slots: List[SlotRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.measurements_used < 0:
+            raise ValidationError("measurements_used must be >= 0")
+        if self.total_pairs < 1:
+            raise ValidationError("total_pairs must be >= 1")
+
+    @property
+    def search_rate(self) -> float:
+        """Consumed search rate ``L / T`` (Eq. 32)."""
+        return self.measurements_used / self.total_pairs
+
+    def measured_pairs(self) -> List[BeamPair]:
+        """Every distinct codebook pair that was measured, in order."""
+        seen: List[BeamPair] = []
+        for measurement in self.trace:
+            if measurement.pair is not None and measurement.pair not in seen:
+                seen.append(measurement.pair)
+        return seen

@@ -1,0 +1,38 @@
+"""Covariance estimation from beam power measurements (Eq. 14–26)."""
+
+from repro.estimation.base import CovarianceEstimator
+from repro.estimation.eigenbeam import (
+    best_codebook_beam,
+    eigen_beamformer,
+    quantization_loss_db,
+    select_probe_beams,
+)
+from repro.estimation.likelihood import (
+    expected_powers,
+    negative_log_likelihood,
+    nll_gradient,
+    nll_value_and_gradient,
+)
+from repro.estimation.ls_covariance import LsCovarianceEstimator
+from repro.estimation.music import music_beam_ranking, music_spectrum, noise_subspace
+from repro.estimation.ml_covariance import MlCovarianceEstimator, estimate_ml_covariance
+from repro.estimation.sample_covariance import BackProjectionEstimator
+
+__all__ = [
+    "CovarianceEstimator",
+    "best_codebook_beam",
+    "eigen_beamformer",
+    "quantization_loss_db",
+    "select_probe_beams",
+    "expected_powers",
+    "negative_log_likelihood",
+    "nll_gradient",
+    "nll_value_and_gradient",
+    "LsCovarianceEstimator",
+    "music_beam_ranking",
+    "music_spectrum",
+    "noise_subspace",
+    "MlCovarianceEstimator",
+    "estimate_ml_covariance",
+    "BackProjectionEstimator",
+]

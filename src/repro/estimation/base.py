@@ -1,0 +1,41 @@
+"""Estimator interface shared by all covariance estimators."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["CovarianceEstimator"]
+
+
+class CovarianceEstimator(abc.ABC):
+    """Estimates an RX spatial covariance from beam power measurements.
+
+    Inputs are the probe beams used (columns of ``probes``), the observed
+    power statistics ``w_j`` (Eq. 11), and the known post-matched-filter
+    noise variance ``1 / gamma``; the output is a Hermitian PSD estimate
+    ``Q_hat`` of the TX-conditioned RX covariance.
+    """
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        probes: np.ndarray,
+        powers: np.ndarray,
+        noise_variance: float,
+    ) -> np.ndarray:
+        """Return a Hermitian PSD covariance estimate, shape ``(n, n)``."""
+
+    @staticmethod
+    def _check_inputs(probes: np.ndarray, powers: np.ndarray) -> None:
+        probes = np.asarray(probes)
+        powers = np.asarray(powers)
+        if probes.ndim != 2:
+            raise ValidationError(f"probes must be (n, m), got shape {probes.shape}")
+        if powers.shape != (probes.shape[1],):
+            raise ValidationError(
+                f"powers must have shape ({probes.shape[1]},), got {powers.shape}"
+            )

@@ -1,0 +1,275 @@
+"""Penalized maximum-likelihood covariance estimation (paper Eq. 23–25).
+
+Solves
+
+``min_Q  J(Q) + mu * ||Q||_*   s.t.  Q >= 0``
+
+where ``J`` is the exponential-power negative log-likelihood of
+:mod:`repro.estimation.likelihood`. For Hermitian PSD matrices the
+nuclear norm equals the trace, and the proximal operator of
+``mu * ||.||_*`` restricted to the PSD cone is eigenvalue
+soft-thresholding followed by clipping — so a *projected proximal
+gradient* method with backtracking line search solves the problem
+directly, which is the role the paper assigns to the nuclear-norm
+machinery of its reference [18].
+
+**Subspace reduction.** Every gradient of ``J`` is a weighted sum of
+probe outer products ``v_j v_j^H``, and the eigenvalue soft-threshold
+preserves the span of its argument, so the iterates never leave
+``span{initial, probes}``. The solver therefore builds an orthonormal
+basis ``B`` of that span (truncating the warm start to its top
+``warm_rank`` eigen-directions — harmless, since the physical covariance
+is low-rank), solves the identical problem for the small matrix
+``S = B^H Q B``, and expands ``Q = B S B^H``. With ``J - 1 ~ 7`` probes
+this replaces 64x64 eigendecompositions by ~15x15 ones, an order of
+magnitude faster with bit-identical structure.
+
+The likelihood is non-convex in ``Q`` jointly, but the composite descent
+condition enforced by the backtracking step guarantees a monotone
+objective, and in practice a handful of iterations already orients the
+dominant eigenvector well enough to guide beam selection — the only thing
+Algorithm 1 needs from the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.estimation.base import CovarianceEstimator
+from repro.estimation.likelihood import nll_value_and_gradient
+from repro.mc.operators import QuadraticFormOperator
+from repro.mc.result import SolverResult
+from repro.utils.linalg import hermitian, project_psd, soft_threshold_eigenvalues
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["MlCovarianceEstimator", "estimate_ml_covariance"]
+
+
+def _initial_estimate(
+    operator: QuadraticFormOperator,
+    powers: np.ndarray,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Noise-debiased back-projection warm start.
+
+    ``Q_0 = proj_PSD( sum_j (w_j - offset_j) v_j v_j^H / m )`` — a
+    consistent (if blurry) first guess that orients the gradient steps.
+    """
+    debiased = np.clip(powers - offsets, 0.0, None)
+    rough = operator.adjoint(debiased) / operator.num_measurements
+    return project_psd(rough)
+
+
+def _reduction_basis(
+    probes: np.ndarray,
+    initial: Optional[np.ndarray],
+    warm_rank: int,
+) -> np.ndarray:
+    """Orthonormal basis of ``span{probes, top eigvecs of initial}``."""
+    columns = [probes]
+    if initial is not None:
+        values, vectors = np.linalg.eigh(hermitian(initial))
+        order = np.argsort(values)[::-1]
+        keep = [i for i in order[:warm_rank] if values[i] > 0]
+        if keep:
+            columns.append(vectors[:, keep])
+    stacked = np.concatenate(columns, axis=1)
+    u, s, _ = np.linalg.svd(stacked, full_matrices=False)
+    if s.size == 0 or s[0] == 0.0:
+        return probes[:, :1] / max(np.linalg.norm(probes[:, 0]), 1e-30)
+    rank = int(np.sum(s > 1e-10 * s[0]))
+    return u[:, :rank]
+
+
+def estimate_ml_covariance(
+    probes: np.ndarray,
+    powers: np.ndarray,
+    noise_variance: float,
+    mu: float = 0.05,
+    max_iterations: int = 40,
+    tolerance: float = 1e-4,
+    initial: Optional[np.ndarray] = None,
+    initial_step: float = 1.0,
+    backtrack: float = 0.5,
+    min_step: float = 1e-12,
+    subspace: bool = True,
+    warm_rank: int = 8,
+) -> SolverResult:
+    """Run the projected proximal-gradient solver; returns a SolverResult.
+
+    Parameters
+    ----------
+    probes:
+        RX probe beams as columns, shape ``(n, m)``.
+    powers:
+        Power statistics ``w_j``, shape ``(m,)``.
+    noise_variance:
+        Post-matched-filter noise power ``1 / gamma``.
+    mu:
+        Low-rank penalty weight of Eq. (25).
+    initial:
+        Optional warm start (e.g. the previous TX-slot's estimate) — this
+        is how the integrated design carries channel knowledge across
+        slots cheaply.
+    subspace / warm_rank:
+        Enable the exact subspace reduction described in the module
+        docstring; ``warm_rank`` bounds how many eigen-directions of the
+        warm start join the basis.
+    """
+    mu = check_nonnegative(mu, "mu")
+    noise_variance = check_positive(noise_variance, "noise_variance")
+    probes = np.asarray(probes, dtype=complex)
+    powers = np.asarray(powers, dtype=float)
+    dimension = probes.shape[0]
+    offsets = noise_variance * np.sum(np.abs(probes) ** 2, axis=0)
+
+    basis: Optional[np.ndarray] = None
+    if subspace:
+        candidate = _reduction_basis(probes, initial, warm_rank)
+        if candidate.shape[1] < dimension:
+            basis = candidate
+
+    if basis is not None:
+        reduced_probes = basis.conj().T @ probes
+        reduced_initial = (
+            basis.conj().T @ initial @ basis if initial is not None else None
+        )
+        result = _solve(
+            reduced_probes,
+            powers,
+            offsets,
+            mu,
+            max_iterations,
+            tolerance,
+            reduced_initial,
+            initial_step,
+            backtrack,
+            min_step,
+        )
+        result.solution = hermitian(basis @ result.solution @ basis.conj().T)
+        return result
+    return _solve(
+        probes,
+        powers,
+        offsets,
+        mu,
+        max_iterations,
+        tolerance,
+        initial,
+        initial_step,
+        backtrack,
+        min_step,
+    )
+
+
+def _solve(
+    probes: np.ndarray,
+    powers: np.ndarray,
+    offsets: np.ndarray,
+    mu: float,
+    max_iterations: int,
+    tolerance: float,
+    initial: Optional[np.ndarray],
+    initial_step: float,
+    backtrack: float,
+    min_step: float,
+) -> SolverResult:
+    """Monotone projected proximal gradient on the (possibly reduced) space."""
+    operator = QuadraticFormOperator(probes)
+
+    if initial is not None:
+        current = project_psd(np.asarray(initial, dtype=complex))
+    else:
+        current = _initial_estimate(operator, powers, offsets)
+
+    def penalized(matrix: np.ndarray, nll: float) -> float:
+        return nll + mu * float(np.real(np.trace(matrix)))
+
+    value, gradient = nll_value_and_gradient(
+        current, operator, powers, 1.0, offsets=offsets
+    )
+    history = [penalized(current, value)]
+    step = initial_step
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        accepted = False
+        while step >= min_step:
+            candidate = soft_threshold_eigenvalues(current - step * gradient, mu * step)
+            difference = candidate - current
+            quadratic_gap = float(
+                np.real(np.vdot(gradient, difference))
+                + np.linalg.norm(difference) ** 2 / (2.0 * step)
+            )
+            candidate_value, candidate_gradient = nll_value_and_gradient(
+                candidate, operator, powers, 1.0, offsets=offsets
+            )
+            if candidate_value <= value + quadratic_gap + 1e-12:
+                accepted = True
+                break
+            step *= backtrack
+        if not accepted:
+            break
+        change = float(
+            np.linalg.norm(candidate - current) / max(1.0, np.linalg.norm(current))
+        )
+        current, value, gradient = candidate, candidate_value, candidate_gradient
+        history.append(penalized(current, value))
+        # Allow the step to grow back so one conservative iteration does
+        # not permanently slow the solve.
+        step = min(step / backtrack, initial_step)
+        if change < tolerance:
+            converged = True
+            break
+    return SolverResult(
+        solution=hermitian(current),
+        iterations=iteration,
+        converged=converged,
+        objective=history[-1],
+        history=history,
+    )
+
+
+@dataclass
+class MlCovarianceEstimator(CovarianceEstimator):
+    """Configured penalized-ML estimator implementing Eq. (23).
+
+    ``warm_start`` (settable between calls) carries the previous TX-slot's
+    estimate into the next solve, matching the integrated design of
+    Sec. IV-C.
+    """
+
+    mu: float = 0.05
+    max_iterations: int = 40
+    tolerance: float = 1e-4
+    subspace: bool = True
+    warm_rank: int = 8
+    warm_start: Optional[np.ndarray] = None
+
+    def estimate(
+        self,
+        probes: np.ndarray,
+        powers: np.ndarray,
+        noise_variance: float,
+    ) -> np.ndarray:
+        self._check_inputs(probes, powers)
+        result = estimate_ml_covariance(
+            probes,
+            powers,
+            noise_variance,
+            mu=self.mu,
+            max_iterations=self.max_iterations,
+            tolerance=self.tolerance,
+            initial=self.warm_start,
+            subspace=self.subspace,
+            warm_rank=self.warm_rank,
+        )
+        self.warm_start = result.solution
+        return result.solution
+
+    def reset(self) -> None:
+        """Forget the warm start (new channel / new alignment run)."""
+        self.warm_start = None

@@ -1,0 +1,54 @@
+"""Naive covariance estimators (no low-rank prior) for ablations.
+
+The simplest thing one can do with power-through-beams data is to
+back-project the debiased powers onto the probe outer products:
+
+``Q_hat = sum_j max(w_j - 1/gamma, 0) * v_j v_j^H / m``.
+
+It is unbiased in the probe subspace only up to the probes' Gram
+structure and uses no rank information — exactly the estimator the
+paper's low-rank machinery is supposed to beat. Included as the
+``abl-estimator`` control arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.estimation.base import CovarianceEstimator
+from repro.mc.operators import QuadraticFormOperator
+from repro.utils.linalg import project_psd
+from repro.utils.validation import check_positive
+
+__all__ = ["BackProjectionEstimator"]
+
+
+@dataclass
+class BackProjectionEstimator(CovarianceEstimator):
+    """Debiased back-projection, optionally truncated to a target rank."""
+
+    rank: int = 0  # 0 disables truncation
+
+    def estimate(
+        self,
+        probes: np.ndarray,
+        powers: np.ndarray,
+        noise_variance: float,
+    ) -> np.ndarray:
+        self._check_inputs(probes, powers)
+        check_positive(noise_variance, "noise_variance")
+        operator = QuadraticFormOperator(np.asarray(probes, dtype=complex))
+        probe_norms = np.sum(np.abs(operator.probes) ** 2, axis=0)
+        debiased = np.clip(np.asarray(powers, dtype=float) - noise_variance * probe_norms, 0.0, None)
+        estimate = project_psd(operator.adjoint(debiased) / operator.num_measurements)
+        if self.rank and self.rank > 0:
+            values, vectors = np.linalg.eigh(estimate)
+            order = np.argsort(values)[::-1][: self.rank]
+            kept = np.clip(values[order], 0.0, None)
+            estimate = (vectors[:, order] * kept) @ vectors[:, order].conj().T
+        return estimate
+
+    def reset(self) -> None:
+        """No state to forget; present for interface symmetry."""

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error intentionally raised by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario, algorithm, or solver was configured inconsistently."""
+
+
+class ValidationError(ReproError):
+    """An input array or scalar failed a structural validation check."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    Solvers in :mod:`repro.mc` and :mod:`repro.estimation` only raise this
+    when explicitly configured with ``raise_on_failure=True``; by default
+    they return their best iterate together with a converged flag, which is
+    the behaviour the alignment loop wants (a rough covariance estimate is
+    still useful for guiding measurements).
+    """
+
+
+class BudgetExhaustedError(ReproError):
+    """A beam-search algorithm was asked to measure beyond its budget."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event MAC simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id was unknown or an experiment produced bad output."""

@@ -1,0 +1,33 @@
+"""Figure 8 — cost efficiency, NYC-style multipath mmWave channel.
+
+Same protocol as Figure 7, on the clustered multipath channel.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import run_cost_experiment
+from repro.experiments.registry import Experiment, ExperimentResult, register
+from repro.sim.config import ChannelKind
+
+__all__ = ["run_fig8"]
+
+TITLE = "Figure 8: required search rate vs target loss (NYC multipath channel)"
+
+
+def run_fig8(**overrides) -> ExperimentResult:
+    """Regenerate the Figure 8 series."""
+    return run_cost_experiment("fig8", TITLE, ChannelKind.MULTIPATH, **overrides)
+
+
+register(
+    Experiment(
+        experiment_id="fig8",
+        title=TITLE,
+        paper_artifact="Figure 8",
+        runner=run_fig8,
+        description=(
+            "Smallest search rate at which each scheme's mean loss meets a "
+            "target, on the NYC multipath channel."
+        ),
+    )
+)

@@ -1,0 +1,73 @@
+"""Experiment registry.
+
+Every reproducible artifact (paper figure or ablation) registers itself
+under a stable id (``fig5`` ... ``fig8``, ``lowrank``, ``abl-*``,
+``mac-overhead``, ``mc-recovery``); the CLI and the benchmark suite both
+dispatch through this registry, so "the code that regenerates Figure N"
+has exactly one home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["ExperimentResult", "Experiment", "register", "get", "list_ids", "run"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run: structured data plus a rendered table."""
+
+    experiment_id: str
+    title: str
+    data: Dict[str, Any]
+    table: str
+
+    def __str__(self) -> str:
+        return self.table
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: metadata plus its runner."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str  # e.g. "Figure 5" or "setup fact (Sec. IV-A1)"
+    runner: Callable[..., ExperimentResult]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (ids must be unique)."""
+    if experiment.experiment_id in _REGISTRY:
+        raise ExperimentError(f"duplicate experiment id {experiment.experiment_id!r}")
+    _REGISTRY[experiment.experiment_id] = experiment
+    return experiment
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look up an experiment by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_ids() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def run(experiment_id: str, **overrides: Any) -> ExperimentResult:
+    """Run an experiment by id, forwarding keyword overrides."""
+    return get(experiment_id).runner(**overrides)

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment series.
+
+The benchmark harness prints the same rows the paper plots; these helpers
+produce aligned, diff-friendly tables from sweep results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.sim.sweep import CostEfficiencyCurve, EffectivenessSweep
+
+__all__ = [
+    "render_table",
+    "render_effectiveness",
+    "render_cost_efficiency",
+]
+
+
+def render_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a header rule; every cell pre-formatted."""
+    columns = len(header)
+    widths = [len(str(cell)) for cell in header]
+    for row in rows:
+        for index in range(columns):
+            cell = str(row[index]) if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(header)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        cells = [str(row[i]) if i < len(row) else "" for i in range(columns)]
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells)))
+    return "\n".join(lines)
+
+
+def render_effectiveness(sweep: EffectivenessSweep, title: str) -> str:
+    """Loss-vs-search-rate table: one row per rate, one column per scheme."""
+    schemes = sweep.schemes()
+    header = ["search rate"] + [f"{name} loss(dB)" for name in schemes]
+    rows = []
+    for index, rate in enumerate(sweep.search_rates):
+        row = [f"{rate:6.1%}"]
+        for name in schemes:
+            stat = sweep.stats[name][index]
+            row.append(f"{stat.mean:6.2f} ±{stat.ci95_halfwidth:4.2f}")
+        rows.append(row)
+    return render_table(header, rows, title=title)
+
+
+def render_cost_efficiency(curve: CostEfficiencyCurve, title: str) -> str:
+    """Required-rate-vs-target-loss table (Figs. 7–8 shape)."""
+    schemes = curve.schemes()
+    header = ["target loss(dB)"] + [f"{name} req.rate" for name in schemes]
+    rows = []
+    for index, target in enumerate(curve.target_losses_db):
+        row = [f"{target:6.2f}"]
+        for name in schemes:
+            row.append(f"{curve.required_rates[name][index]:6.1%}")
+        rows.append(row)
+    return render_table(header, rows, title=title)

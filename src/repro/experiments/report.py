@@ -1,0 +1,95 @@
+"""Combined report generation from archived experiment results.
+
+``repro run <id> --json results/<id>.json`` persists each experiment's
+structured data; this module folds a directory of such files back into
+one markdown document (the workflow that produced ``EXPERIMENTS.md``'s
+tables). Unknown files are skipped with a note rather than failing, so a
+partially-populated results directory still reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments import registry
+from repro.utils.serialization import load
+
+__all__ = ["collect_results", "render_report"]
+
+
+def collect_results(directory: Union[str, Path]) -> Dict[str, dict]:
+    """Load every ``<experiment-id>.json`` under ``directory``.
+
+    Returns ``{experiment_id: payload}`` for files whose ``id`` matches a
+    registered experiment; files that fail to parse or are not experiment
+    payloads are ignored.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ExperimentError(f"{directory} is not a directory")
+    results: Dict[str, dict] = {}
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = load(path)
+        except Exception:
+            continue
+        if not isinstance(payload, dict):
+            continue
+        experiment_id = payload.get("id")
+        if isinstance(experiment_id, str) and experiment_id in registry.list_ids():
+            results[experiment_id] = payload
+    return results
+
+
+def _series_block(title: str, series: Dict[str, List[float]], keys: List) -> List[str]:
+    lines = [f"| {title} | " + " | ".join(str(k) for k in keys) + " |"]
+    lines.append("|" + "---|" * (len(keys) + 1))
+    for name, values in series.items():
+        cells = " | ".join(f"{float(v):.2f}" for v in values)
+        lines.append(f"| {name} | {cells} |")
+    return lines
+
+
+def render_report(
+    results: Dict[str, dict],
+    title: str = "Experiment report",
+) -> str:
+    """Render collected results as a single markdown document."""
+    lines: List[str] = [f"# {title}", ""]
+    if not results:
+        lines.append("_No experiment results found._")
+        return "\n".join(lines) + "\n"
+    for experiment_id in sorted(results):
+        payload = results[experiment_id]
+        experiment = registry.get(experiment_id)
+        lines.append(f"## {experiment.title} (`{experiment_id}`)")
+        lines.append("")
+        lines.append(f"*Paper artifact: {experiment.paper_artifact}*")
+        lines.append("")
+        data = payload.get("data", {})
+        if "mean_loss_db" in data and "search_rates" in data:
+            lines.extend(
+                _series_block(
+                    "mean loss (dB) @ rate", data["mean_loss_db"], data["search_rates"]
+                )
+            )
+        elif "required_rates" in data and "target_losses_db" in data:
+            lines.extend(
+                _series_block(
+                    "required rate @ target (dB)",
+                    data["required_rates"],
+                    data["target_losses_db"],
+                )
+            )
+        elif "mean_loss_db" in data and isinstance(data["mean_loss_db"], dict):
+            simple = {
+                name: [value] if not isinstance(value, list) else value
+                for name, value in data["mean_loss_db"].items()
+            }
+            lines.extend(_series_block("mean loss (dB)", simple, ["value"]))
+        else:
+            lines.append("_(structured data present; see the JSON payload)_")
+        lines.append("")
+    return "\n".join(lines) + "\n"

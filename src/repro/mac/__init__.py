@@ -1,0 +1,44 @@
+"""MAC substrate: event kernel, frames, messages, training protocol."""
+
+from repro.mac.cell_search import CellSearchConfig, CellSearchOutcome, simulate_cell_search
+from repro.mac.events import EventHandle, EventScheduler
+from repro.mac.frames import FrameConfig, TrainingTiming, training_timing
+from repro.mac.messages import (
+    Beacon,
+    BestPairFeedback,
+    MeasurementReport,
+    MessageType,
+    TrainingAnnouncement,
+)
+from repro.mac.protocol import BeamTrainingSession, TimelineEntry, TrainingSessionResult
+from repro.mac.simulator import IntervalReport, MacSimulationReport, MacSimulator
+from repro.mac.throughput import (
+    EffectiveCapacity,
+    effective_capacity,
+    training_overhead_fraction,
+)
+
+__all__ = [
+    "CellSearchConfig",
+    "CellSearchOutcome",
+    "simulate_cell_search",
+    "EventHandle",
+    "EventScheduler",
+    "FrameConfig",
+    "TrainingTiming",
+    "training_timing",
+    "Beacon",
+    "BestPairFeedback",
+    "MeasurementReport",
+    "MessageType",
+    "TrainingAnnouncement",
+    "BeamTrainingSession",
+    "TimelineEntry",
+    "TrainingSessionResult",
+    "IntervalReport",
+    "MacSimulationReport",
+    "MacSimulator",
+    "EffectiveCapacity",
+    "effective_capacity",
+    "training_overhead_fraction",
+]

@@ -1,0 +1,112 @@
+"""Discrete-event simulation kernel.
+
+A minimal but complete event scheduler: monotonically increasing clock,
+stable FIFO ordering among simultaneous events, cancellation, and
+bounded-run helpers. The MAC protocol layers (frames, training sessions,
+cell search) are all driven by this kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+__all__ = ["EventHandle", "EventScheduler"]
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle to a scheduled event; use to cancel it."""
+
+    time: float
+    sequence: int
+
+
+class EventScheduler:
+    """A priority-queue event loop with a simulated clock.
+
+    Time units are abstract; the MAC layer uses microseconds throughout.
+    Events scheduled for the same instant run in scheduling (FIFO) order.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._cancelled: set = set()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        sequence = next(self._sequence)
+        heapq.heappush(self._queue, (float(time), sequence, callback))
+        return EventHandle(time=float(time), sequence=sequence)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (no-op if already run)."""
+        self._cancelled.add((handle.time, handle.sequence))
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        while self._queue:
+            time, sequence, callback = heapq.heappop(self._queue)
+            if (time, sequence) in self._cancelled:
+                self._cancelled.discard((time, sequence))
+                continue
+            self._now = time
+            self._processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``); returns count."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        return executed
+
+    def run_until(self, time: float) -> int:
+        """Run all events scheduled strictly before or at ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to {time} from {self._now}")
+        executed = 0
+        while self._queue:
+            next_time = self._queue[0][0]
+            if next_time > time:
+                break
+            if self.step():
+                executed += 1
+        self._now = max(self._now, time)
+        return executed

@@ -1,0 +1,86 @@
+"""MAC frame and slot timing.
+
+The paper's MAC context (IEEE 802.15.3c-style, Sec. II/IV-B1): a
+superframe carries a beacon, an optional beam-training region (the
+TX-slots of Fig. 3, each holding ``J`` RX measurements of Fig. 4), a
+feedback exchange, and the data region. The timing parameters here turn
+"number of measured beam pairs" into protocol airtime — the cost side of
+the search-rate trade-off the whole paper optimizes.
+
+Defaults are loosely based on 802.15.3c magnitudes (microsecond-scale
+training units, millisecond-scale superframes); all are configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FrameConfig", "TrainingTiming", "training_timing"]
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Timing parameters of the slotted MAC (all durations in us)."""
+
+    measurement_duration_us: float = 2.0  # one beam-pair pilot dwell
+    slot_overhead_us: float = 4.0  # TX beam switch + slot preamble (per TX-slot)
+    beacon_duration_us: float = 8.0  # sync/beacon before training
+    feedback_duration_us: float = 6.0  # RX -> TX best-pair report
+    superframe_duration_us: float = 2000.0  # total recurring frame
+    coherence_time_us: float = 10000.0  # channel stays valid this long
+
+    def __post_init__(self) -> None:
+        for name in (
+            "measurement_duration_us",
+            "slot_overhead_us",
+            "beacon_duration_us",
+            "feedback_duration_us",
+            "superframe_duration_us",
+            "coherence_time_us",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0")
+        if self.superframe_duration_us <= self.beacon_duration_us:
+            raise ConfigurationError("superframe must be longer than its beacon")
+
+
+@dataclass(frozen=True)
+class TrainingTiming:
+    """Airtime breakdown of one beam-training run."""
+
+    num_measurements: int
+    num_slots: int
+    beacon_us: float
+    measurement_us: float
+    slot_overhead_us: float
+    feedback_us: float
+
+    @property
+    def total_us(self) -> float:
+        """Total training airtime."""
+        return (
+            self.beacon_us
+            + self.measurement_us
+            + self.slot_overhead_us
+            + self.feedback_us
+        )
+
+
+def training_timing(
+    config: FrameConfig,
+    num_measurements: int,
+    num_slots: int,
+) -> TrainingTiming:
+    """Airtime of a training run with the given measurement/slot counts."""
+    if num_measurements < 0 or num_slots < 0:
+        raise ConfigurationError("measurement and slot counts must be >= 0")
+    return TrainingTiming(
+        num_measurements=num_measurements,
+        num_slots=num_slots,
+        beacon_us=config.beacon_duration_us,
+        measurement_us=config.measurement_duration_us * num_measurements,
+        slot_overhead_us=config.slot_overhead_us * num_slots,
+        feedback_us=config.feedback_duration_us,
+    )

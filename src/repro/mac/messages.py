@@ -1,0 +1,93 @@
+"""MAC signalling messages.
+
+The 802.15.3c-style message vocabulary the paper's integrated design
+relies on (Sec. IV-B1: "TX can attach its direction information in the
+data transmitted to RX and RX can also transmit some feedback messages
+... e.g. its best receiving direction, and the quality of the best beam
+pair"). These are plain value objects carried on the event timeline of
+the simulator; serialization sizes feed the timing model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ValidationError
+from repro.types import BeamPair
+
+__all__ = [
+    "MessageType",
+    "Beacon",
+    "TrainingAnnouncement",
+    "MeasurementReport",
+    "BestPairFeedback",
+]
+
+
+class MessageType(enum.Enum):
+    """Wire-level message kinds."""
+
+    BEACON = "beacon"
+    TRAINING_ANNOUNCEMENT = "training_announcement"
+    MEASUREMENT_REPORT = "measurement_report"
+    BEST_PAIR_FEEDBACK = "best_pair_feedback"
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """Superframe beacon: synchronization + the TX beam it was sent on."""
+
+    superframe: int
+    tx_beam: int
+
+    type: MessageType = MessageType.BEACON
+
+    def __post_init__(self) -> None:
+        if self.superframe < 0 or self.tx_beam < 0:
+            raise ValidationError("beacon fields must be >= 0")
+
+
+@dataclass(frozen=True)
+class TrainingAnnouncement:
+    """TX announces a training region: slot count and measurements/slot."""
+
+    num_slots: int
+    measurements_per_slot: int
+
+    type: MessageType = MessageType.TRAINING_ANNOUNCEMENT
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1 or self.measurements_per_slot < 1:
+            raise ValidationError("training announcement fields must be >= 1")
+
+
+@dataclass(frozen=True)
+class MeasurementReport:
+    """RX-side record of one pilot measurement (kept local to the RX)."""
+
+    slot: int
+    pair: BeamPair
+    power: float
+
+    type: MessageType = MessageType.MEASUREMENT_REPORT
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise ValidationError("measurement power must be >= 0")
+
+
+@dataclass(frozen=True)
+class BestPairFeedback:
+    """RX -> TX feedback: the best pair found and its measured quality."""
+
+    pair: BeamPair
+    power: float
+    measurements_used: int
+
+    type: MessageType = MessageType.BEST_PAIR_FEEDBACK
+
+    def __post_init__(self) -> None:
+        if self.power < 0 or self.measurements_used < 0:
+            raise ValidationError("feedback fields must be >= 0")

@@ -1,0 +1,40 @@
+"""Common result container for iterative solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError
+
+__all__ = ["SolverResult"]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of an iterative matrix solver.
+
+    ``solution`` is the final (best) iterate; ``history`` records the
+    objective or residual per iteration for diagnostics. Solvers report
+    non-convergence through ``converged`` instead of raising, because a
+    partially-converged covariance estimate still usefully guides beam
+    selection; callers that need a hard guarantee call
+    :meth:`raise_if_failed`.
+    """
+
+    solution: np.ndarray
+    iterations: int
+    converged: bool
+    objective: float
+    history: List[float] = field(default_factory=list)
+
+    def raise_if_failed(self, context: str = "solver") -> "SolverResult":
+        """Raise :class:`ConvergenceError` unless the solver converged."""
+        if not self.converged:
+            raise ConvergenceError(
+                f"{context} failed to converge in {self.iterations} iterations"
+                f" (final objective {self.objective:.3e})"
+            )
+        return self

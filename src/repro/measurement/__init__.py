@@ -1,0 +1,29 @@
+"""Measurement plane: pilot signals, matched filtering, budget accounting."""
+
+from repro.measurement.budget import MeasurementBudget, measurements_for_search_rate
+from repro.measurement.digital import (
+    beam_powers_from_observations,
+    observe_rx_vector,
+    vector_sample_covariance,
+)
+from repro.measurement.measurer import Measurement, MeasurementEngine
+from repro.measurement.signal import (
+    PilotSignal,
+    matched_filter,
+    measurement_statistic,
+    simulate_measurement,
+)
+
+__all__ = [
+    "MeasurementBudget",
+    "measurements_for_search_rate",
+    "beam_powers_from_observations",
+    "observe_rx_vector",
+    "vector_sample_covariance",
+    "Measurement",
+    "MeasurementEngine",
+    "PilotSignal",
+    "matched_filter",
+    "measurement_statistic",
+    "simulate_measurement",
+]

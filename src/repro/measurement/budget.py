@@ -1,0 +1,87 @@
+"""Measurement-budget accounting.
+
+The central cost metric of the paper is the **Search Rate** — the number
+of measured beam pairs ``L`` normalized to the total ``T = |U| * |V|``
+(Eq. 32). The budget object converts between search rates and raw
+measurement counts and enforces that no algorithm silently exceeds its
+allowance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import BudgetExhaustedError, ValidationError
+
+__all__ = ["MeasurementBudget", "measurements_for_search_rate"]
+
+
+def measurements_for_search_rate(total_pairs: int, search_rate: float) -> int:
+    """Measurement count for a search rate, rounded to the nearest pair.
+
+    Always at least 1 for a positive rate so that tiny rates on small
+    codebooks still measure something.
+    """
+    if total_pairs < 1:
+        raise ValidationError(f"total_pairs must be >= 1, got {total_pairs}")
+    if not 0.0 < search_rate <= 1.0:
+        raise ValidationError(f"search_rate must be in (0, 1], got {search_rate}")
+    return max(1, min(total_pairs, round(search_rate * total_pairs)))
+
+
+@dataclass
+class MeasurementBudget:
+    """Mutable counter of beam-pair measurements against a hard limit."""
+
+    total_pairs: int
+    limit: int
+    spent: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_pairs < 1:
+            raise ValidationError(f"total_pairs must be >= 1, got {self.total_pairs}")
+        if not 1 <= self.limit <= self.total_pairs:
+            raise ValidationError(
+                f"limit must be in [1, {self.total_pairs}], got {self.limit}"
+            )
+        if self.spent < 0 or self.spent > self.limit:
+            raise ValidationError(f"spent must be in [0, {self.limit}], got {self.spent}")
+
+    @classmethod
+    def from_search_rate(cls, total_pairs: int, search_rate: float) -> "MeasurementBudget":
+        """Build a budget holding ``round(search_rate * total_pairs)`` pairs."""
+        return cls(
+            total_pairs=total_pairs,
+            limit=measurements_for_search_rate(total_pairs, search_rate),
+        )
+
+    @property
+    def remaining(self) -> int:
+        """Measurements still available."""
+        return self.limit - self.spent
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the budget is fully spent."""
+        return self.remaining <= 0
+
+    @property
+    def search_rate(self) -> float:
+        """The *configured* search rate ``limit / total_pairs`` (Eq. 32)."""
+        return self.limit / self.total_pairs
+
+    @property
+    def spent_rate(self) -> float:
+        """The search rate actually consumed so far."""
+        return self.spent / self.total_pairs
+
+    def charge(self, count: int = 1) -> None:
+        """Consume ``count`` measurements; raise if that overruns the limit."""
+        if count < 0:
+            raise ValidationError(f"count must be >= 0, got {count}")
+        if self.spent + count > self.limit:
+            raise BudgetExhaustedError(
+                f"requested {count} measurements with only {self.remaining} left"
+                f" (limit {self.limit} of {self.total_pairs} pairs)"
+            )
+        self.spent += count

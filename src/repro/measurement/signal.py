@@ -1,0 +1,106 @@
+"""Transmit-signal and matched-filter model (paper Eqs. 4–10).
+
+The physical story: in TX-slot ``i`` the transmitter sends a known pilot
+``s_i(t)`` with energy ``E_s`` through beamforming weights ``u_i``
+(Eq. 4); the receiver, steered with ``v_j``, observes
+``y_j(t) = v_j^H H_j u_i s_i(t) + e_j(t)`` (Eq. 8) and applies a matched
+filter normalized by the pilot energy (Eq. 9), yielding
+
+``z_j = v_j^H H_j u_i + e_j / sqrt(E_s)``
+
+in which the residual noise has variance ``N0 / E_s = 1 / gamma``. The
+library works directly with this normalized ``z_j``; this module keeps
+the explicit waveform-level arithmetic for documentation, validation, and
+the signal-level unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import complex_normal
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "PilotSignal",
+    "matched_filter",
+    "measurement_statistic",
+    "simulate_measurement",
+]
+
+
+@dataclass(frozen=True)
+class PilotSignal:
+    """A pilot/training signal: energy and symbol count.
+
+    ``energy`` is ``E_s = integral |s(t)|^2 dt`` of Eq. (10); ``symbols``
+    is the discrete length used when an explicit waveform is needed.
+    """
+
+    energy: float = 1.0
+    symbols: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive(self.energy, "pilot energy")
+        if self.symbols < 1:
+            raise ValidationError(f"symbols must be >= 1, got {self.symbols}")
+
+    def waveform(self) -> np.ndarray:
+        """A unit-modulus constant-envelope waveform carrying ``energy``."""
+        amplitude = np.sqrt(self.energy / self.symbols)
+        return np.full(self.symbols, amplitude, dtype=complex)
+
+
+def matched_filter(
+    received: np.ndarray,
+    pilot: np.ndarray,
+) -> complex:
+    """Correlate a received waveform against the pilot, energy-normalized.
+
+    Discrete form of Eq. (9): ``z = (1 / E_s) * sum_t s*(t) y(t)`` — for a
+    noiseless ``y = g * s`` this returns exactly the complex channel gain
+    ``g``, and additive noise of per-sample variance ``N0`` lands on ``z``
+    with variance ``N0 / E_s``.
+    """
+    received = np.asarray(received, dtype=complex)
+    pilot = np.asarray(pilot, dtype=complex)
+    if received.shape != pilot.shape:
+        raise ValidationError(
+            f"received {received.shape} and pilot {pilot.shape} shapes differ"
+        )
+    energy = float(np.sum(np.abs(pilot) ** 2))
+    if energy <= 0:
+        raise ValidationError("pilot has zero energy")
+    return complex(np.sum(pilot.conj() * received) / energy)
+
+
+def measurement_statistic(z: complex) -> float:
+    """The power statistic ``w = |z|^2`` the estimator consumes (Eq. 11)."""
+    return float(np.abs(z) ** 2)
+
+
+def simulate_measurement(
+    effective_gain: complex,
+    pilot: PilotSignal,
+    noise_power: float,
+    rng: np.random.Generator,
+) -> complex:
+    """Full waveform-level simulation of one measurement.
+
+    Transmits the pilot through a scalar effective channel
+    ``g = v^H H u``, adds white complex noise of per-sample power
+    ``noise_power`` (``N0``), and matched-filters. Equivalent in
+    distribution to the shortcut ``g + CN(0, N0 / E_s)`` used by the fast
+    path in :mod:`repro.measurement.measurer`; tests verify that
+    equivalence.
+    """
+    noise_power = float(noise_power)
+    if noise_power < 0:
+        raise ValidationError(f"noise_power must be >= 0, got {noise_power}")
+    waveform = pilot.waveform()
+    noise = complex_normal(rng, waveform.shape, variance=noise_power)
+    received = effective_gain * waveform + noise
+    return matched_filter(received, waveform)

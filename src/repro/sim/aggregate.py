@@ -1,0 +1,55 @@
+"""Aggregation of per-trial metrics into reported statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["SeriesStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Mean/dispersion summary of one metric over trials."""
+
+    mean: float
+    std: float
+    sem: float
+    median: float
+    count: int
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95% confidence interval."""
+        return 1.96 * self.sem
+
+
+def summarize(values: Sequence[float]) -> SeriesStats:
+    """Summarize finite values; infinities are clipped to the finite max.
+
+    An infinite loss means the selected pair had (numerically) zero mean
+    SNR; clipping to the worst finite trial keeps the aggregate usable
+    while still reflecting a very bad outcome.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValidationError("cannot summarize an empty sequence")
+    if np.any(np.isnan(array)):
+        raise ValidationError("cannot summarize NaN values")
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        raise ValidationError("no finite values to summarize")
+    clipped = np.clip(array, None, float(finite.max()))
+    count = int(clipped.size)
+    std = float(clipped.std(ddof=1)) if count > 1 else 0.0
+    return SeriesStats(
+        mean=float(clipped.mean()),
+        std=std,
+        sem=std / np.sqrt(count) if count > 1 else 0.0,
+        median=float(np.median(clipped)),
+        count=count,
+    )

@@ -1,0 +1,67 @@
+"""Evaluation metrics: SNR loss and search rate (paper Eqs. 31–32).
+
+Sign convention: the paper defines ``Loss(dB) = 10 log10(R / R_opt)``
+(Eq. 31), which is non-positive; its figures plot the magnitude of the
+degradation. We report the non-negative degradation
+``10 log10(R_opt / R)`` so that "smaller is better" and the plotted
+ranges match the paper's figures directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrays.codebook import Codebook
+from repro.channel.base import ClusteredChannel
+from repro.exceptions import ValidationError
+from repro.types import BeamPair
+
+__all__ = ["snr_loss_db", "loss_from_matrix_db", "PairEvaluation", "evaluate_pair"]
+
+
+def loss_from_matrix_db(snr_matrix: np.ndarray, pair: BeamPair) -> float:
+    """Degradation of ``pair`` relative to the matrix optimum, in dB >= 0."""
+    snr_matrix = np.asarray(snr_matrix, dtype=float)
+    if snr_matrix.ndim != 2:
+        raise ValidationError(f"snr_matrix must be 2-D, got shape {snr_matrix.shape}")
+    optimum = float(snr_matrix.max())
+    achieved = float(snr_matrix[pair.tx_index, pair.rx_index])
+    if optimum <= 0:
+        raise ValidationError("the SNR matrix has no positive entries")
+    if achieved <= 0:
+        return float("inf")
+    return float(10.0 * np.log10(optimum / achieved))
+
+
+def snr_loss_db(
+    channel: ClusteredChannel,
+    tx_codebook: Codebook,
+    rx_codebook: Codebook,
+    pair: BeamPair,
+) -> float:
+    """SNR loss (Eq. 31, reported as non-negative degradation) of a pair."""
+    snr_matrix = channel.mean_snr_matrix(tx_codebook, rx_codebook)
+    return loss_from_matrix_db(snr_matrix, pair)
+
+
+@dataclass(frozen=True)
+class PairEvaluation:
+    """Ground-truth evaluation of a selected pair."""
+
+    pair: BeamPair
+    mean_snr: float
+    optimal_snr: float
+    loss_db: float
+
+
+def evaluate_pair(snr_matrix: np.ndarray, pair: BeamPair) -> PairEvaluation:
+    """Evaluate a selected pair against the exact mean-SNR matrix."""
+    snr_matrix = np.asarray(snr_matrix, dtype=float)
+    return PairEvaluation(
+        pair=pair,
+        mean_snr=float(snr_matrix[pair.tx_index, pair.rx_index]),
+        optimal_snr=float(snr_matrix.max()),
+        loss_db=loss_from_matrix_db(snr_matrix, pair),
+    )

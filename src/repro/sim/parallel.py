@@ -1,0 +1,157 @@
+"""Process-parallel trial execution.
+
+Figure sweeps are embarrassingly parallel across trials (each trial is an
+independent channel draw), but the scheme factories used by
+:func:`repro.sim.runner.run_trial` are closures and do not pickle. This
+module provides a picklable indirection: a :class:`SchemeSpec` names a
+registered scheme plus its constructor keyword arguments, workers rebuild
+the scenario and schemes from specs, and results come back as light
+:class:`ParallelOutcome` records (no measurement traces across process
+boundaries).
+
+Determinism: trial ``k`` uses exactly the same per-trial generator as the
+serial runner, so ``run_trials_parallel`` reproduces
+:func:`repro.sim.runner.run_trials` outcome-for-outcome regardless of the
+worker count.
+"""
+
+from __future__ import annotations
+
+import functools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.digital_rx import DigitalRxSearch
+from repro.baselines.genie import GenieAligner
+from repro.baselines.hierarchical_search import HierarchicalSearch
+from repro.baselines.local_refine import LocalRefineSearch
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.scan_search import ScanSearch
+from repro.baselines.ucb import UcbSearch
+from repro.core.bidirectional import BidirectionalAlignment
+from repro.core.proposed import ProposedAlignment
+from repro.exceptions import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import run_trial
+from repro.sim.scenario import Scenario
+from repro.types import BeamPair
+from repro.utils.rng import trial_generator
+
+__all__ = ["SchemeSpec", "ParallelOutcome", "run_trials_parallel", "SCHEME_BUILDERS"]
+
+#: Scheme name -> constructor. Every entry must be constructible from
+#: keyword arguments alone; the genie additionally receives the channel.
+SCHEME_BUILDERS = {
+    "Random": RandomSearch,
+    "Scan": ScanSearch,
+    "Proposed": ProposedAlignment,
+    "Bidirectional": BidirectionalAlignment,
+    "Hierarchical": HierarchicalSearch,
+    "LocalRefine": LocalRefineSearch,
+    "UCB": UcbSearch,
+    "DigitalRx": DigitalRxSearch,
+    "Genie": GenieAligner,
+}
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """A picklable scheme description: registered name + kwargs."""
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **params: object) -> "SchemeSpec":
+        """Convenience constructor: ``SchemeSpec.of("Proposed", mu=0.1)``."""
+        if name not in SCHEME_BUILDERS:
+            known = ", ".join(sorted(SCHEME_BUILDERS))
+            raise ConfigurationError(f"unknown scheme {name!r}; known: {known}")
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    def build_factory(self):
+        """The channel-aware factory the serial runner expects."""
+        builder = SCHEME_BUILDERS[self.name]
+        kwargs = dict(self.params)
+        if self.name == "Genie":
+            return lambda channel: builder(channel, **kwargs)
+        return lambda channel: builder(**kwargs)
+
+
+@dataclass(frozen=True)
+class ParallelOutcome:
+    """Cross-process-safe summary of one scheme's trial outcome."""
+
+    algorithm: str
+    loss_db: float
+    measurements_used: int
+    selected: BeamPair
+    optimal_snr: float
+
+
+@functools.lru_cache(maxsize=8)
+def _scenario_for(config: ScenarioConfig) -> Scenario:
+    """Per-process scenario cache (codebooks are immutable)."""
+    return Scenario(config)
+
+
+def _run_one_trial(
+    config: ScenarioConfig,
+    specs: Tuple[SchemeSpec, ...],
+    search_rate: float,
+    base_seed: int,
+    trial_index: int,
+) -> Dict[str, ParallelOutcome]:
+    """Worker entry point: one full trial, all schemes."""
+    scenario = _scenario_for(config)
+    schemes = {spec.name: spec.build_factory() for spec in specs}
+    outcomes = run_trial(
+        scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
+    )
+    return {
+        name: ParallelOutcome(
+            algorithm=name,
+            loss_db=outcome.loss_db,
+            measurements_used=outcome.result.measurements_used,
+            selected=outcome.result.selected,
+            optimal_snr=outcome.evaluation.optimal_snr,
+        )
+        for name, outcome in outcomes.items()
+    }
+
+
+def run_trials_parallel(
+    config: ScenarioConfig,
+    specs: Sequence[SchemeSpec],
+    search_rate: float,
+    num_trials: int,
+    base_seed: int = 0,
+    max_workers: Optional[int] = None,
+) -> List[Dict[str, ParallelOutcome]]:
+    """Run ``num_trials`` independent trials across worker processes.
+
+    With ``max_workers=1`` (or in environments where process pools are
+    unavailable) the trials run in the current process through the same
+    code path, so results are identical either way.
+    """
+    if num_trials < 1:
+        raise ConfigurationError(f"num_trials must be >= 1, got {num_trials}")
+    if not specs:
+        raise ConfigurationError("need at least one scheme spec")
+    specs = tuple(specs)
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate scheme names in specs: {names}")
+
+    if max_workers == 1:
+        return [
+            _run_one_trial(config, specs, search_rate, base_seed, trial)
+            for trial in range(num_trials)
+        ]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(_run_one_trial, config, specs, search_rate, base_seed, trial)
+            for trial in range(num_trials)
+        ]
+        return [future.result() for future in futures]

@@ -1,0 +1,86 @@
+"""Persistence for sweep results.
+
+Full-scale figure sweeps take minutes; these helpers serialize an
+:class:`~repro.sim.sweep.EffectivenessSweep` (with its raw per-trial
+losses, so statistics can be recomputed or re-aggregated later) to JSON
+and load it back. The archived `results/` directory of this repository
+was produced through the same machinery.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ValidationError
+from repro.sim.sweep import CostEfficiencyCurve, EffectivenessSweep
+from repro.utils.serialization import dump, load
+
+__all__ = [
+    "save_effectiveness_sweep",
+    "load_effectiveness_sweep",
+    "save_cost_curve",
+    "load_cost_curve",
+]
+
+_SWEEP_KIND = "effectiveness-sweep-v1"
+_CURVE_KIND = "cost-efficiency-curve-v1"
+
+
+def save_effectiveness_sweep(
+    sweep: EffectivenessSweep,
+    path: Union[str, Path],
+) -> None:
+    """Write a sweep (rates + raw per-trial losses) as JSON."""
+    dump(
+        {
+            "kind": _SWEEP_KIND,
+            "search_rates": sweep.search_rates,
+            "losses": sweep.losses,
+        },
+        path,
+    )
+
+
+def load_effectiveness_sweep(path: Union[str, Path]) -> EffectivenessSweep:
+    """Load a sweep saved by :func:`save_effectiveness_sweep`.
+
+    Statistics are recomputed from the raw losses on load, so older
+    files stay valid if the aggregation logic evolves.
+    """
+    payload = load(path)
+    if not isinstance(payload, dict) or payload.get("kind") != _SWEEP_KIND:
+        raise ValidationError(f"{path} is not a saved effectiveness sweep")
+    return EffectivenessSweep(
+        search_rates=[float(rate) for rate in payload["search_rates"]],
+        losses={
+            str(name): [[float(v) for v in trials] for trials in per_rate]
+            for name, per_rate in payload["losses"].items()
+        },
+    )
+
+
+def save_cost_curve(curve: CostEfficiencyCurve, path: Union[str, Path]) -> None:
+    """Write a cost-efficiency curve as JSON."""
+    dump(
+        {
+            "kind": _CURVE_KIND,
+            "target_losses_db": curve.target_losses_db,
+            "required_rates": curve.required_rates,
+        },
+        path,
+    )
+
+
+def load_cost_curve(path: Union[str, Path]) -> CostEfficiencyCurve:
+    """Load a curve saved by :func:`save_cost_curve`."""
+    payload = load(path)
+    if not isinstance(payload, dict) or payload.get("kind") != _CURVE_KIND:
+        raise ValidationError(f"{path} is not a saved cost-efficiency curve")
+    return CostEfficiencyCurve(
+        target_losses_db=[float(t) for t in payload["target_losses_db"]],
+        required_rates={
+            str(name): [float(r) for r in rates]
+            for name, rates in payload["required_rates"].items()
+        },
+    )

@@ -1,0 +1,91 @@
+"""Scenario assembly: configs to arrays, codebooks, and channel draws."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.upa import UniformPlanarArray
+from repro.channel.base import ClusteredChannel
+from repro.channel.multipath import sample_nyc_channel
+from repro.channel.singlepath import sample_singlepath_channel
+from repro.sim.config import ChannelKind, ScenarioConfig
+
+__all__ = ["Scenario"]
+
+
+class Scenario:
+    """Instantiated arrays and codebooks for a configuration.
+
+    The scenario is the *deterministic* part of an experiment; channel
+    realizations are drawn per trial through :meth:`sample_channel`.
+    """
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self._config = config
+        self._tx_array = UniformPlanarArray(*config.tx_shape, spacing=config.spacing)
+        self._rx_array = UniformPlanarArray(*config.rx_shape, spacing=config.spacing)
+        tx_rows, tx_cols = config.effective_tx_beam_grid
+        rx_rows, rx_cols = config.effective_rx_beam_grid
+        self._tx_codebook = Codebook.grid(
+            self._tx_array, n_azimuth=tx_cols, n_elevation=tx_rows, name="tx"
+        )
+        self._rx_codebook = Codebook.grid(
+            self._rx_array, n_azimuth=rx_cols, n_elevation=rx_rows, name="rx"
+        )
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The source configuration."""
+        return self._config
+
+    @property
+    def tx_array(self) -> UniformPlanarArray:
+        """Transmit array."""
+        return self._tx_array
+
+    @property
+    def rx_array(self) -> UniformPlanarArray:
+        """Receive array."""
+        return self._rx_array
+
+    @property
+    def tx_codebook(self) -> Codebook:
+        """TX beam set ``U``."""
+        return self._tx_codebook
+
+    @property
+    def rx_codebook(self) -> Codebook:
+        """RX beam set ``V``."""
+        return self._rx_codebook
+
+    @property
+    def total_pairs(self) -> int:
+        """``T`` of Eq. (1)."""
+        return self._tx_codebook.num_beams * self._rx_codebook.num_beams
+
+    def sample_channel(self, rng: np.random.Generator) -> ClusteredChannel:
+        """Draw a channel realization of the configured family."""
+        if self._config.channel is ChannelKind.SINGLEPATH:
+            return sample_singlepath_channel(
+                self._tx_array,
+                self._rx_array,
+                rng,
+                snr=self._config.snr_linear,
+                params=self._config.cluster_params,
+            )
+        return sample_nyc_channel(
+            self._tx_array,
+            self._rx_array,
+            rng,
+            snr=self._config.snr_linear,
+            params=self._config.cluster_params,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Scenario(channel={self._config.channel.value},"
+            f" tx={self._tx_codebook.num_beams} beams,"
+            f" rx={self._rx_codebook.num_beams} beams,"
+            f" snr={self._config.snr_db:g} dB)"
+        )

@@ -1,0 +1,120 @@
+"""Parameter sweeps: the two experiment shapes of the paper's evaluation.
+
+* **Effectiveness sweep** (Figs. 5–6): SNR loss as a function of search
+  rate, per scheme.
+* **Cost-efficiency curve** (Figs. 7–8): the smallest search rate at
+  which a scheme's loss meets a target, per target loss. Following the
+  paper's protocol ("each scheme will continue searching beam pairs until
+  the obtained Loss is smaller than the targeted SNR Loss threshold"), we
+  evaluate schemes on a search-rate grid and report, per target, the
+  first grid rate whose *mean* loss meets the target; targets that even
+  the full sweep cannot meet report 1.0 (exhaustive search always meets
+  any non-negative target).
+
+Common random numbers: the same trial index draws the same channel at
+every search rate, so per-scheme curves are smooth in the rate dimension
+and scheme differences are paired comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.sim.aggregate import SeriesStats, summarize
+from repro.sim.runner import AlgorithmFactory, run_trials
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "EffectivenessSweep",
+    "CostEfficiencyCurve",
+    "effectiveness_sweep",
+    "required_search_rates",
+]
+
+
+@dataclass
+class EffectivenessSweep:
+    """Loss-vs-search-rate series per scheme (Figs. 5–6 data)."""
+
+    search_rates: List[float]
+    losses: Dict[str, List[List[float]]]  # scheme -> rate index -> trial losses
+    stats: Dict[str, List[SeriesStats]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.stats:
+            self.stats = {
+                scheme: [summarize(trial_losses) for trial_losses in per_rate]
+                for scheme, per_rate in self.losses.items()
+            }
+
+    def mean_loss(self, scheme: str) -> List[float]:
+        """Mean loss (dB) per search rate for one scheme."""
+        return [stat.mean for stat in self.stats[scheme]]
+
+    def schemes(self) -> List[str]:
+        """Scheme names in insertion order."""
+        return list(self.losses.keys())
+
+
+@dataclass
+class CostEfficiencyCurve:
+    """Required-search-rate-vs-target-loss series per scheme (Figs. 7–8)."""
+
+    target_losses_db: List[float]
+    required_rates: Dict[str, List[float]]
+
+    def schemes(self) -> List[str]:
+        """Scheme names in insertion order."""
+        return list(self.required_rates.keys())
+
+
+def effectiveness_sweep(
+    scenario: Scenario,
+    schemes: Mapping[str, AlgorithmFactory],
+    search_rates: Sequence[float],
+    num_trials: int,
+    base_seed: int = 0,
+) -> EffectivenessSweep:
+    """Run every scheme at every search rate; collect per-trial losses."""
+    rates = [float(rate) for rate in search_rates]
+    if not rates:
+        raise ConfigurationError("need at least one search rate")
+    if any(not 0.0 < rate <= 1.0 for rate in rates):
+        raise ConfigurationError(f"search rates must be in (0, 1], got {rates}")
+    losses: Dict[str, List[List[float]]] = {name: [] for name in schemes}
+    for rate in rates:
+        trials = run_trials(scenario, schemes, rate, num_trials, base_seed=base_seed)
+        for name in schemes:
+            losses[name].append([trial[name].loss_db for trial in trials])
+    return EffectivenessSweep(search_rates=rates, losses=losses)
+
+
+def required_search_rates(
+    sweep: EffectivenessSweep,
+    target_losses_db: Sequence[float],
+) -> CostEfficiencyCurve:
+    """Per target loss, the smallest swept rate whose mean loss meets it."""
+    targets = [float(target) for target in target_losses_db]
+    if not targets:
+        raise ValidationError("need at least one target loss")
+    if any(target < 0 for target in targets):
+        raise ValidationError(f"target losses must be >= 0 dB, got {targets}")
+    order = np.argsort(sweep.search_rates)
+    sorted_rates = [sweep.search_rates[i] for i in order]
+    curve: Dict[str, List[float]] = {}
+    for scheme in sweep.schemes():
+        means = [sweep.stats[scheme][i].mean for i in order]
+        required: List[float] = []
+        for target in targets:
+            rate = 1.0  # exhaustive search meets any target
+            for mean, candidate in zip(means, sorted_rates):
+                if mean <= target:
+                    rate = candidate
+                    break
+            required.append(rate)
+        curve[scheme] = required
+    return CostEfficiencyCurve(target_losses_db=targets, required_rates=curve)

@@ -1,0 +1,24 @@
+"""Small shared value types used across subpackages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BeamPair"]
+
+
+@dataclass(frozen=True, order=True)
+class BeamPair:
+    """A (TX beam index, RX beam index) pair into a codebook product.
+
+    The paper writes a pair as ``(u, v)`` — transmission from TX with
+    weights ``u`` to RX with weights ``v`` (Sec. III-A); here both sides
+    are identified by their codebook indices.
+    """
+
+    tx_index: int
+    rx_index: int
+
+    def __post_init__(self) -> None:
+        if self.tx_index < 0 or self.rx_index < 0:
+            raise ValueError(f"beam indices must be >= 0, got {self}")

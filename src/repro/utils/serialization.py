@@ -1,0 +1,76 @@
+"""JSON-friendly serialization of configs and experiment results.
+
+Experiment outputs (series of floats keyed by scheme name) and scenario
+configurations round-trip through plain dictionaries so benchmark runs can
+be persisted and diffed. Numpy scalars/arrays are converted to native
+Python types on the way out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dumps", "dump", "loads", "load"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a value into JSON-serializable built-ins.
+
+    Handles dataclasses, numpy scalars and arrays (complex arrays become
+    ``{"real": [...], "imag": [...]}``), mappings, and sequences. Values
+    that are already JSON-native pass through unchanged.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        if np.iscomplexobj(value):
+            return {
+                "real": to_jsonable(value.real),
+                "imag": to_jsonable(value.imag),
+            }
+        return value.tolist()
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, complex):
+        return {"real": value.real, "imag": value.imag}
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def dumps(value: Any, indent: int = 2) -> str:
+    """Serialize ``value`` to a JSON string via :func:`to_jsonable`."""
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=True)
+
+
+def dump(value: Any, path: Union[str, Path], indent: int = 2) -> None:
+    """Serialize ``value`` as JSON to ``path``."""
+    Path(path).write_text(dumps(value, indent=indent) + "\n", encoding="utf-8")
+
+
+def loads(text: str) -> Any:
+    """Parse a JSON string produced by :func:`dumps`."""
+    return json.loads(text)
+
+
+def load(path: Union[str, Path]) -> Any:
+    """Parse the JSON file at ``path``."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,85 @@
+"""Shared fixtures: deterministic RNGs and small fast scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.channel.base import ClusteredChannel, Subpath
+from repro.measurement.budget import MeasurementBudget
+from repro.measurement.measurer import MeasurementEngine
+from repro.sim.config import ChannelKind, ScenarioConfig
+from repro.sim.scenario import Scenario
+from repro.utils.geometry import Direction
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ula8() -> UniformLinearArray:
+    return UniformLinearArray(8)
+
+
+@pytest.fixture
+def upa22() -> UniformPlanarArray:
+    return UniformPlanarArray(2, 2)
+
+
+@pytest.fixture
+def upa24() -> UniformPlanarArray:
+    return UniformPlanarArray(2, 4)
+
+
+@pytest.fixture
+def tx_codebook(upa22: UniformPlanarArray) -> Codebook:
+    return Codebook.for_array(upa22)
+
+
+@pytest.fixture
+def rx_codebook(upa24: UniformPlanarArray) -> Codebook:
+    return Codebook.grid(upa24, n_azimuth=6, n_elevation=3)
+
+
+@pytest.fixture
+def small_channel(upa22, upa24, rng) -> ClusteredChannel:
+    """A deterministic two-path channel on the small arrays."""
+    subpaths = [
+        Subpath(power=0.8, tx_direction=Direction(0.3, 0.1), rx_direction=Direction(-0.5, 0.2)),
+        Subpath(power=0.2, tx_direction=Direction(-0.7, -0.1), rx_direction=Direction(0.9, -0.2)),
+    ]
+    return ClusteredChannel(upa22, upa24, subpaths, snr=100.0)
+
+
+@pytest.fixture
+def engine(small_channel, rng) -> MeasurementEngine:
+    return MeasurementEngine(small_channel, rng, fading_blocks=4)
+
+
+@pytest.fixture
+def small_config() -> ScenarioConfig:
+    """A fast scenario: 4 TX beams x 9 RX beams = 36 pairs."""
+    return ScenarioConfig(
+        channel=ChannelKind.MULTIPATH,
+        tx_shape=(2, 2),
+        rx_shape=(2, 4),
+        rx_beam_grid=(3, 3),
+        snr_db=20.0,
+        fading_blocks=4,
+    )
+
+
+@pytest.fixture
+def small_scenario(small_config: ScenarioConfig) -> Scenario:
+    return Scenario(small_config)
+
+
+@pytest.fixture
+def small_budget(small_scenario: Scenario) -> MeasurementBudget:
+    return MeasurementBudget.from_search_rate(small_scenario.total_pairs, 0.5)

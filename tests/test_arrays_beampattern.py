@@ -1,0 +1,95 @@
+"""Tests for beam-pattern analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.beampattern import analyze_pattern, array_factor, pattern_cut_db
+from repro.arrays.steering import steering_vector
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.exceptions import ValidationError
+from repro.utils.geometry import Direction
+
+
+class TestArrayFactor:
+    def test_matched_direction_unit_gain(self):
+        array = UniformLinearArray(8)
+        d = Direction(0.4)
+        weights = steering_vector(array, d)
+        response = array_factor(array, weights, [d])
+        assert abs(response[0]) == pytest.approx(1.0)
+
+    def test_gain_bounded_by_one(self):
+        array = UniformPlanarArray(4, 4)
+        weights = steering_vector(array, Direction(0.2, 0.1))
+        directions = [Direction(float(a)) for a in np.linspace(-1.3, 1.3, 21)]
+        gains = np.abs(array_factor(array, weights, directions)) ** 2
+        assert np.all(gains <= 1.0 + 1e-12)
+
+    def test_weight_shape_validation(self):
+        array = UniformLinearArray(4)
+        with pytest.raises(ValidationError):
+            array_factor(array, np.ones(3), [Direction(0.0)])
+
+
+class TestPatternCut:
+    def test_floor_applied(self):
+        array = UniformLinearArray(8)
+        weights = steering_vector(array, Direction(0.0))
+        cut = pattern_cut_db(array, weights, np.linspace(-1.5, 1.5, 101), floor_db=-60.0)
+        assert np.all(cut >= -60.0 - 1e-9)
+
+    def test_peak_at_steering_angle(self):
+        array = UniformLinearArray(16)
+        target = 0.35
+        weights = steering_vector(array, Direction(target))
+        azimuths = np.linspace(-1.5, 1.5, 3001)
+        cut = pattern_cut_db(array, weights, azimuths)
+        assert azimuths[int(np.argmax(cut))] == pytest.approx(target, abs=0.01)
+
+
+class TestAnalyzePattern:
+    def test_beamwidth_shrinks_with_aperture(self):
+        small = UniformLinearArray(4)
+        large = UniformLinearArray(16)
+        bw_small = analyze_pattern(small, steering_vector(small, Direction(0.0))).half_power_beamwidth
+        bw_large = analyze_pattern(large, steering_vector(large, Direction(0.0))).half_power_beamwidth
+        assert bw_large < bw_small
+
+    def test_hpbw_close_to_theory(self):
+        """Broadside half-wavelength ULA: HPBW ~ 0.886 * 2 / N radians."""
+        n = 16
+        array = UniformLinearArray(n)
+        stats = analyze_pattern(array, steering_vector(array, Direction(0.0)))
+        assert stats.half_power_beamwidth == pytest.approx(0.886 * 2 / n, rel=0.15)
+
+    def test_sidelobe_level_ula(self):
+        """Uniform ULA first sidelobe sits near -13.3 dB."""
+        array = UniformLinearArray(16)
+        stats = analyze_pattern(array, steering_vector(array, Direction(0.0)))
+        assert stats.peak_sidelobe_db == pytest.approx(-13.3, abs=1.0)
+
+    def test_peak_location(self):
+        array = UniformLinearArray(12)
+        stats = analyze_pattern(array, steering_vector(array, Direction(0.5)))
+        assert stats.peak_azimuth == pytest.approx(0.5, abs=0.01)
+
+    def test_wide_beam_is_wider(self):
+        """Hierarchical sub-array wide beams trade gain for beamwidth."""
+        from repro.arrays.codebook import Codebook
+        from repro.arrays.hierarchical import HierarchicalCodebook
+
+        base = Codebook.for_array(UniformLinearArray(8))
+        tree = HierarchicalCodebook(base)
+        wide = tree.level(2)[1]  # covers a quarter of the sector
+        narrow = base.beam(2)
+        bw_wide = analyze_pattern(base.array, wide.vector).half_power_beamwidth
+        bw_narrow = analyze_pattern(base.array, narrow).half_power_beamwidth
+        assert bw_wide > bw_narrow
+
+    def test_resolution_validation(self):
+        array = UniformLinearArray(4)
+        with pytest.raises(ValidationError):
+            analyze_pattern(array, steering_vector(array, Direction(0.0)), resolution=4)

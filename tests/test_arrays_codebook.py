@@ -1,0 +1,164 @@
+"""Tests for beam codebooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.exceptions import ValidationError
+from repro.utils.linalg import random_psd
+
+
+@pytest.fixture
+def codebook() -> Codebook:
+    return Codebook.grid(UniformPlanarArray(2, 4), n_azimuth=4, n_elevation=3)
+
+
+class TestConstruction:
+    def test_for_array_upa(self):
+        cb = Codebook.for_array(UniformPlanarArray(4, 4))
+        assert cb.num_beams == 16
+        assert cb.grid_shape == (4, 4)
+
+    def test_for_array_ula(self):
+        cb = Codebook.for_array(UniformLinearArray(8))
+        assert cb.num_beams == 8
+        assert cb.grid_shape == (1, 8)
+
+    def test_grid_oversampled(self):
+        cb = Codebook.grid(UniformPlanarArray(2, 2), n_azimuth=5, n_elevation=3)
+        assert cb.num_beams == 15
+        assert cb.grid_shape == (3, 5)
+
+    def test_unit_norm_columns(self, codebook):
+        np.testing.assert_allclose(np.linalg.norm(codebook.vectors, axis=0), 1.0)
+
+    def test_vectors_readonly(self, codebook):
+        with pytest.raises(ValueError):
+            codebook.vectors[0, 0] = 0.0
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValidationError):
+            Codebook.grid(UniformPlanarArray(2, 2), n_azimuth=0)
+
+    def test_len_and_iter(self, codebook):
+        beams = list(codebook)
+        assert len(beams) == len(codebook) == 12
+        np.testing.assert_allclose(beams[3], codebook.beam(3))
+
+    def test_direction_accessor(self, codebook):
+        d = codebook.direction(0)
+        assert -np.pi / 2 <= d.azimuth <= np.pi / 2
+
+    def test_bad_index(self, codebook):
+        with pytest.raises(ValidationError):
+            codebook.beam(12)
+        with pytest.raises(ValidationError):
+            codebook.direction(-1)
+
+
+class TestGridTopology:
+    def test_coords_roundtrip(self, codebook):
+        for index in range(codebook.num_beams):
+            row, col = codebook.grid_coords(index)
+            assert codebook.beam_index(row, col) == index
+
+    def test_neighbors_interior(self, codebook):
+        # Grid is 3x4; beam (1, 1) has 4 neighbors.
+        index = codebook.beam_index(1, 1)
+        neighbors = codebook.neighbors(index)
+        assert len(neighbors) == 4
+        for n in neighbors:
+            r, c = codebook.grid_coords(n)
+            assert abs(r - 1) + abs(c - 1) == 1
+
+    def test_neighbors_corner(self, codebook):
+        assert len(codebook.neighbors(codebook.beam_index(0, 0))) == 2
+
+    def test_neighbors_edge(self, codebook):
+        assert len(codebook.neighbors(codebook.beam_index(0, 1))) == 3
+
+    def test_snake_order_visits_all(self, codebook):
+        order = codebook.snake_order(0)
+        assert sorted(order) == list(range(codebook.num_beams))
+
+    def test_snake_order_adjacent_steps(self, codebook):
+        """From a corner start, consecutive snake entries are neighbors."""
+        order = codebook.snake_order(0)
+        for a, b in zip(order, order[1:]):
+            assert b in codebook.neighbors(a)
+
+    def test_snake_order_start_offset(self, codebook):
+        order = codebook.snake_order(5)
+        assert order[0] == 5
+        assert sorted(order) == list(range(codebook.num_beams))
+
+
+class TestGains:
+    def test_gains_match_quadratic_form(self, codebook, rng):
+        q = random_psd(codebook.array.num_elements, 2, rng)
+        gains = codebook.gains(q)
+        for k in range(codebook.num_beams):
+            v = codebook.beam(k)
+            assert gains[k] == pytest.approx(float(np.real(v.conj() @ q @ v)), abs=1e-10)
+
+    def test_best_beam_is_argmax(self, codebook, rng):
+        q = random_psd(codebook.array.num_elements, 2, rng)
+        assert codebook.best_beam(q) == int(np.argmax(codebook.gains(q)))
+
+    def test_best_beam_respects_exclude(self, codebook, rng):
+        q = random_psd(codebook.array.num_elements, 2, rng)
+        best = codebook.best_beam(q)
+        second = codebook.best_beam(q, exclude={best})
+        assert second != best
+
+    def test_best_beam_all_excluded(self, codebook):
+        with pytest.raises(ValidationError):
+            codebook.best_beam(np.eye(8), exclude=set(range(codebook.num_beams)))
+
+    def test_top_beams_sorted(self, codebook, rng):
+        q = random_psd(codebook.array.num_elements, 3, rng)
+        top = codebook.top_beams(q, 5)
+        gains = codebook.gains(q)
+        assert len(top) == 5
+        assert all(gains[a] >= gains[b] - 1e-12 for a, b in zip(top, top[1:]))
+
+    def test_top_beams_zero_count(self, codebook):
+        assert codebook.top_beams(np.eye(8), 0) == []
+
+    def test_top_beams_excess_count(self, codebook):
+        with pytest.raises(ValidationError):
+            codebook.top_beams(np.eye(8), codebook.num_beams + 1)
+
+    def test_top_beams_excludes(self, codebook, rng):
+        q = random_psd(codebook.array.num_elements, 2, rng)
+        excluded = {0, 1, 2}
+        top = codebook.top_beams(q, 4, exclude=excluded)
+        assert not excluded.intersection(top)
+
+    def test_steered_covariance_peaks_at_matching_beam(self):
+        """A rank-1 covariance along beam k is maximized by beam k."""
+        cb = Codebook.for_array(UniformPlanarArray(3, 3))
+        for k in (0, 4, 8):
+            v = cb.beam(k)
+            q = np.outer(v, v.conj())
+            assert cb.best_beam(q) == k
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 4),
+    cols=st.integers(1, 4),
+    n_az=st.integers(1, 6),
+    n_el=st.integers(1, 4),
+)
+def test_property_codebook_consistency(rows, cols, n_az, n_el):
+    cb = Codebook.grid(UniformPlanarArray(rows, cols), n_azimuth=n_az, n_elevation=n_el)
+    assert cb.num_beams == n_az * n_el
+    assert sorted(cb.snake_order(0)) == list(range(cb.num_beams))
+    np.testing.assert_allclose(np.linalg.norm(cb.vectors, axis=0), 1.0, atol=1e-9)

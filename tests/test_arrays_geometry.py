@@ -1,0 +1,93 @@
+"""Tests for array geometries (ULA / UPA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.exceptions import ValidationError
+
+
+class TestUniformLinearArray:
+    def test_element_count(self):
+        assert UniformLinearArray(8).num_elements == 8
+        assert len(UniformLinearArray(8)) == 8
+
+    def test_positions_along_x(self):
+        ula = UniformLinearArray(4, spacing=0.5)
+        np.testing.assert_allclose(ula.positions[:, 0], [0.0, 0.5, 1.0, 1.5])
+        np.testing.assert_allclose(ula.positions[:, 1:], 0.0)
+
+    def test_custom_spacing(self):
+        ula = UniformLinearArray(3, spacing=0.25)
+        assert ula.spacing == 0.25
+        np.testing.assert_allclose(ula.positions[:, 0], [0.0, 0.25, 0.5])
+
+    def test_aperture(self):
+        assert UniformLinearArray(5, spacing=0.5).aperture == pytest.approx(2.0)
+
+    def test_single_element(self):
+        assert UniformLinearArray(1).aperture == 0.0
+
+    def test_grid_shape(self):
+        assert UniformLinearArray(6).grid_shape == (6,)
+
+    def test_positions_readonly(self):
+        ula = UniformLinearArray(3)
+        with pytest.raises(ValueError):
+            ula.positions[0, 0] = 9.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            UniformLinearArray(0)
+        with pytest.raises(ValidationError):
+            UniformLinearArray(4, spacing=0.0)
+
+    def test_repr(self):
+        assert "ULA-8" in repr(UniformLinearArray(8))
+
+
+class TestUniformPlanarArray:
+    def test_element_count(self):
+        assert UniformPlanarArray(4, 4).num_elements == 16
+        assert UniformPlanarArray(2, 3).num_elements == 6
+
+    def test_grid_shape(self):
+        assert UniformPlanarArray(2, 3).grid_shape == (2, 3)
+
+    def test_flat_index_row_major(self):
+        upa = UniformPlanarArray(3, 4)
+        assert upa.flat_index(0, 0) == 0
+        assert upa.flat_index(0, 3) == 3
+        assert upa.flat_index(1, 0) == 4
+        assert upa.flat_index(2, 3) == 11
+
+    def test_flat_index_bounds(self):
+        upa = UniformPlanarArray(2, 2)
+        with pytest.raises(ValidationError):
+            upa.flat_index(2, 0)
+        with pytest.raises(ValidationError):
+            upa.flat_index(0, -1)
+
+    def test_positions_xz_plane(self):
+        upa = UniformPlanarArray(2, 2, spacing=0.5)
+        np.testing.assert_allclose(upa.positions[:, 1], 0.0)  # y == 0
+        # Element (row=1, col=1) sits at x=0.5, z=0.5.
+        index = upa.flat_index(1, 1)
+        np.testing.assert_allclose(upa.positions[index], [0.5, 0.0, 0.5])
+
+    def test_paper_arrays(self):
+        """Sec. V-A: TX 4x4, RX 8x8, lambda/2 spacing."""
+        tx = UniformPlanarArray(4, 4)
+        rx = UniformPlanarArray(8, 8)
+        assert tx.num_elements == 16
+        assert rx.num_elements == 64
+        assert tx.spacing == rx.spacing == 0.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            UniformPlanarArray(0, 2)
+        with pytest.raises(ValidationError):
+            UniformPlanarArray(2, 2, spacing=-1.0)

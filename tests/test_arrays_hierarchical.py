@@ -1,0 +1,109 @@
+"""Tests for hierarchical codebooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.hierarchical import HierarchicalCodebook
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def base() -> Codebook:
+    return Codebook.for_array(UniformPlanarArray(4, 4))
+
+
+@pytest.fixture
+def tree(base: Codebook) -> HierarchicalCodebook:
+    return HierarchicalCodebook(base)
+
+
+class TestStructure:
+    def test_depth(self, tree):
+        # 4 beams per axis -> blocks 4, 2, 1 -> 3 levels.
+        assert tree.depth == 3
+
+    def test_level_zero_single_beam(self, tree, base):
+        level0 = tree.level(0)
+        assert len(level0) == 1
+        assert level0[0].covers == frozenset(range(base.num_beams))
+
+    def test_leaf_level_matches_base(self, tree, base):
+        leaves = tree.level(tree.depth - 1)
+        assert len(leaves) == base.num_beams
+        covered = set()
+        for leaf in leaves:
+            assert len(leaf.covers) == 1
+            covered |= set(leaf.covers)
+        assert covered == set(range(base.num_beams))
+
+    def test_leaf_vectors_are_base_beams(self, tree, base):
+        for leaf in tree.level(tree.depth - 1):
+            index = tree.leaf_beam_index(leaf)
+            np.testing.assert_allclose(leaf.vector, base.beam(index), atol=1e-12)
+
+    def test_children_partition_parent(self, tree):
+        for level in range(tree.depth - 1):
+            next_level = tree.level(level + 1)
+            for beam in tree.level(level):
+                child_cover = frozenset().union(
+                    *(next_level[c].covers for c in beam.children)
+                )
+                assert child_cover == beam.covers
+
+    def test_all_vectors_unit_norm(self, tree):
+        for level in range(tree.depth):
+            for beam in tree.level(level):
+                assert np.linalg.norm(beam.vector) == pytest.approx(1.0)
+
+    def test_level_out_of_range(self, tree):
+        with pytest.raises(ValidationError):
+            tree.level(tree.depth)
+
+    def test_leaf_index_rejects_internal(self, tree):
+        with pytest.raises(ValidationError):
+            tree.leaf_beam_index(tree.level(0)[0])
+
+
+class TestWideBeamPhysics:
+    def test_wide_beam_covers_its_sector(self, base, tree):
+        """A level-1 wide beam should see its own children's directions
+        better than the opposite sector's."""
+        from repro.arrays.steering import steering_vector
+
+        level1 = tree.level(1)
+        beam = level1[0]
+        covered_dirs = [base.direction(i) for i in sorted(beam.covers)]
+        uncovered = [
+            base.direction(i)
+            for i in range(base.num_beams)
+            if i not in beam.covers
+        ]
+        array = base.array
+        covered_gain = np.mean(
+            [abs(np.vdot(beam.vector, steering_vector(array, d))) ** 2 for d in covered_dirs]
+        )
+        uncovered_gain = np.mean(
+            [abs(np.vdot(beam.vector, steering_vector(array, d))) ** 2 for d in uncovered]
+        )
+        assert covered_gain > uncovered_gain
+
+    def test_ula_hierarchy(self):
+        base = Codebook.for_array(UniformLinearArray(8))
+        tree = HierarchicalCodebook(base)
+        assert tree.depth == 4  # 8 -> 4 -> 2 -> 1
+        assert len(tree.level(0)) == 1
+        assert len(tree.level(tree.depth - 1)) == 8
+
+    def test_non_power_of_two(self):
+        base = Codebook.grid(UniformPlanarArray(2, 3), n_azimuth=3, n_elevation=2)
+        tree = HierarchicalCodebook(base)
+        leaves = tree.level(tree.depth - 1)
+        assert len(leaves) == base.num_beams
+
+    def test_repr(self, tree):
+        assert "HierarchicalCodebook" in repr(tree)

@@ -1,0 +1,107 @@
+"""Tests for steering-vector computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.steering import direction_unit_vector, steering_matrix, steering_vector
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.utils.geometry import Direction
+
+
+class TestDirectionUnitVector:
+    def test_unit_length(self):
+        for az in (-1.0, 0.0, 0.7):
+            for el in (-0.5, 0.0, 0.9):
+                vec = direction_unit_vector(Direction(az, el))
+                assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_broadside(self):
+        np.testing.assert_allclose(
+            direction_unit_vector(Direction(0.0, 0.0)), [0.0, 1.0, 0.0], atol=1e-12
+        )
+
+    def test_endfire(self):
+        np.testing.assert_allclose(
+            direction_unit_vector(Direction(np.pi / 2, 0.0)), [1.0, 0.0, 0.0], atol=1e-12
+        )
+
+
+class TestSteeringVector:
+    def test_unit_norm(self):
+        array = UniformPlanarArray(3, 5)
+        vec = steering_vector(array, Direction(0.4, -0.2))
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_broadside_uniform_phase(self):
+        array = UniformLinearArray(6)
+        vec = steering_vector(array, Direction(0.0, 0.0))
+        np.testing.assert_allclose(vec, vec[0], atol=1e-12)
+
+    def test_ula_phase_progression(self):
+        """Phase increment of a half-wavelength ULA is pi*sin(azimuth)."""
+        array = UniformLinearArray(5, spacing=0.5)
+        azimuth = 0.6
+        vec = steering_vector(array, Direction(azimuth))
+        ratios = vec[1:] / vec[:-1]
+        expected = np.exp(1j * np.pi * np.sin(azimuth))
+        np.testing.assert_allclose(ratios, expected, atol=1e-12)
+
+    def test_matched_gain_is_maximal(self):
+        """|a(d)^H a(d)| = 1 >= |a(d)^H a(other)|."""
+        array = UniformPlanarArray(4, 4)
+        d = Direction(0.3, 0.1)
+        a = steering_vector(array, d)
+        assert abs(np.vdot(a, a)) == pytest.approx(1.0)
+        for other_az in np.linspace(-1.2, 1.2, 7):
+            other = steering_vector(array, Direction(other_az, -0.4))
+            assert abs(np.vdot(other, a)) <= 1.0 + 1e-12
+
+    def test_elevation_steering_on_upa(self):
+        """A vertical UPA column sees elevation, not azimuth."""
+        array = UniformPlanarArray(4, 1)
+        flat = steering_vector(array, Direction(0.9, 0.0))
+        np.testing.assert_allclose(flat, flat[0], atol=1e-12)  # azimuth invisible
+        steep = steering_vector(array, Direction(0.0, 0.5))
+        assert not np.allclose(steep, steep[0])
+
+
+class TestSteeringMatrix:
+    def test_matches_columns(self):
+        array = UniformPlanarArray(2, 3)
+        directions = [Direction(0.1, 0.0), Direction(-0.8, 0.3)]
+        matrix = steering_matrix(array, directions)
+        for k, d in enumerate(directions):
+            np.testing.assert_allclose(matrix[:, k], steering_vector(array, d), atol=1e-12)
+
+    def test_empty(self):
+        array = UniformLinearArray(4)
+        assert steering_matrix(array, []).shape == (4, 0)
+
+    def test_dft_grid_orthogonality(self):
+        """Critically-sampled sine grid gives orthonormal (DFT) beams."""
+        from repro.utils.geometry import uniform_sine_grid
+
+        n = 8
+        array = UniformLinearArray(n, spacing=0.5)
+        directions = [Direction(float(a)) for a in uniform_sine_grid(n)]
+        matrix = steering_matrix(array, directions)
+        gram = matrix.conj().T @ matrix
+        np.testing.assert_allclose(gram, np.eye(n), atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    az=st.floats(-1.4, 1.4),
+    el=st.floats(-1.0, 1.0),
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+)
+def test_property_steering_always_unit_norm(az, el, rows, cols):
+    array = UniformPlanarArray(rows, cols)
+    vec = steering_vector(array, Direction(az, el))
+    assert np.linalg.norm(vec) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,67 @@
+"""Tests for the marginal-UCB baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.ucb import UcbSearch
+from repro.core.base import AlignmentContext
+from repro.exceptions import ValidationError
+from repro.measurement.budget import MeasurementBudget
+from repro.measurement.measurer import MeasurementEngine
+from repro.sim.metrics import loss_from_matrix_db
+
+
+def _context(small_channel, tx_codebook, rx_codebook, rng, limit):
+    engine = MeasurementEngine(small_channel, rng, fading_blocks=4)
+    budget = MeasurementBudget(
+        total_pairs=tx_codebook.num_beams * rx_codebook.num_beams, limit=limit
+    )
+    return AlignmentContext(tx_codebook, rx_codebook, engine, budget)
+
+
+class TestUcbSearch:
+    def test_invalid_constant(self):
+        with pytest.raises(ValidationError):
+            UcbSearch(exploration_constant=-1.0)
+
+    def test_spends_budget(self, small_channel, tx_codebook, rx_codebook, rng):
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, 30)
+        result = UcbSearch().align(context, rng)
+        assert result.measurements_used == 30
+        assert result.algorithm == "UCB"
+
+    def test_distinct_pairs(self, small_channel, tx_codebook, rx_codebook, rng):
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, 40)
+        result = UcbSearch().align(context, rng)
+        pairs = [m.pair for m in result.trace]
+        assert len(set(pairs)) == 40
+
+    def test_full_budget(self, small_channel, tx_codebook, rx_codebook, rng):
+        total = tx_codebook.num_beams * rx_codebook.num_beams
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, total)
+        result = UcbSearch().align(context, rng)
+        assert result.measurements_used == total
+
+    def test_exploits_strong_marginals(self, small_channel, tx_codebook, rx_codebook):
+        """With a generous budget, UCB concentrates measurements on the
+        dominant TX beam more than uniform sampling would."""
+        context = _context(
+            small_channel, tx_codebook, rx_codebook, np.random.default_rng(0), 40
+        )
+        result = UcbSearch(exploration_constant=0.05).align(
+            context, np.random.default_rng(1)
+        )
+        snr = small_channel.mean_snr_matrix(tx_codebook, rx_codebook)
+        best_tx = int(np.unravel_index(np.argmax(snr), snr.shape)[0])
+        counts = {}
+        for m in result.trace:
+            counts[m.pair.tx_index] = counts.get(m.pair.tx_index, 0) + 1
+        assert counts.get(best_tx, 0) >= 40 / tx_codebook.num_beams
+
+    def test_quality_reasonable(self, small_channel, tx_codebook, rx_codebook, rng):
+        snr = small_channel.mean_snr_matrix(tx_codebook, rx_codebook)
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, 50)
+        result = UcbSearch().align(context, rng)
+        assert loss_from_matrix_db(snr, result.selected) < 8.0

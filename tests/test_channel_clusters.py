@@ -1,0 +1,138 @@
+"""Tests for cluster statistics and scenario channel generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.upa import UniformPlanarArray
+from repro.channel.clusters import (
+    ClusterParams,
+    PathClusterSpec,
+    random_sector_direction,
+    sample_cluster_specs,
+    specs_to_subpaths,
+)
+from repro.channel.multipath import sample_nyc_channel
+from repro.channel.singlepath import sample_singlepath_channel
+from repro.exceptions import ValidationError
+from repro.utils.geometry import Direction
+
+
+class TestClusterParams:
+    def test_defaults_valid(self):
+        ClusterParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_clusters": 0.0},
+            {"max_clusters": 0},
+            {"subpaths_per_cluster": 0},
+            {"power_decay_exponent": 0.5},
+            {"power_shadowing_db": -1.0},
+            {"azimuth_sine_range": (0.5, 0.1)},
+            {"elevation_sine_range": (-2.0, 0.5)},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValidationError):
+            ClusterParams(**kwargs)
+
+
+class TestSpecSampling:
+    def test_fractions_sum_to_one(self, rng):
+        specs = sample_cluster_specs(rng)
+        assert sum(s.power_fraction for s in specs) == pytest.approx(1.0)
+
+    def test_cluster_count_bounds(self, rng):
+        params = ClusterParams(max_clusters=3)
+        for _ in range(50):
+            specs = sample_cluster_specs(rng, params)
+            assert 1 <= len(specs) <= 3
+
+    def test_mean_cluster_count_plausible(self):
+        """Poisson(1.9) clipped to [1, 6]: mean around 2."""
+        counts = [
+            len(sample_cluster_specs(np.random.default_rng(i))) for i in range(500)
+        ]
+        assert 1.5 < np.mean(counts) < 2.7
+
+    def test_directions_in_sector(self, rng):
+        params = ClusterParams(azimuth_sine_range=(-0.5, 0.5))
+        for _ in range(50):
+            d = random_sector_direction(rng, params)
+            assert abs(np.sin(d.azimuth)) <= 0.5 + 1e-9
+
+    def test_spec_validation(self):
+        with pytest.raises(ValidationError):
+            PathClusterSpec(
+                power_fraction=1.2, tx_center=Direction(0.0), rx_center=Direction(0.0)
+            )
+
+
+class TestSubpathExpansion:
+    def test_count(self, rng):
+        params = ClusterParams(subpaths_per_cluster=5)
+        specs = sample_cluster_specs(rng, params)
+        subpaths = specs_to_subpaths(specs, rng, params)
+        assert len(subpaths) == 5 * len(specs)
+
+    def test_power_partition(self, rng):
+        specs = sample_cluster_specs(rng)
+        subpaths = specs_to_subpaths(specs, rng)
+        assert sum(p.power for p in subpaths) == pytest.approx(1.0)
+
+    def test_angular_spread_small(self, rng):
+        """Subpaths stay within a few spreads of the cluster center."""
+        params = ClusterParams(azimuth_spread_deg=2.0, elevation_spread_deg=1.0)
+        spec = PathClusterSpec(
+            power_fraction=1.0, tx_center=Direction(0.3, 0.1), rx_center=Direction(-0.2, 0.0)
+        )
+        subpaths = specs_to_subpaths([spec], rng, params)
+        offsets = [abs(p.rx_direction.azimuth - (-0.2)) for p in subpaths]
+        assert max(offsets) < np.deg2rad(2.0) * 5
+
+    def test_empty_specs_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            specs_to_subpaths([], rng)
+
+
+class TestScenarioGenerators:
+    def test_singlepath_rank_one(self, rng):
+        tx, rx = UniformPlanarArray(2, 2), UniformPlanarArray(2, 4)
+        channel = sample_singlepath_channel(tx, rx, rng)
+        assert channel.num_subpaths == 1
+        values = np.linalg.eigvalsh(channel.full_rx_covariance())
+        assert np.sum(values > 1e-10 * values.max()) == 1
+
+    def test_singlepath_snr(self, rng):
+        tx, rx = UniformPlanarArray(2, 2), UniformPlanarArray(2, 2)
+        channel = sample_singlepath_channel(tx, rx, rng, snr=50.0)
+        assert channel.snr == 50.0
+
+    def test_multipath_structure(self, rng):
+        tx, rx = UniformPlanarArray(2, 2), UniformPlanarArray(2, 4)
+        params = ClusterParams(subpaths_per_cluster=4)
+        channel = sample_nyc_channel(tx, rx, rng, params=params)
+        assert channel.num_subpaths % 4 == 0
+        assert channel.powers.sum() == pytest.approx(1.0)
+
+    def test_multipath_low_rank_tendency(self):
+        """Clustered channels concentrate energy in few eigen-directions."""
+        from repro.utils.linalg import energy_fraction
+
+        tx, rx = UniformPlanarArray(4, 4), UniformPlanarArray(4, 4)
+        fractions = []
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            channel = sample_nyc_channel(tx, rx, rng)
+            fractions.append(energy_fraction(channel.full_rx_covariance(), 5))
+        assert np.mean(fractions) > 0.85
+
+    def test_determinism(self):
+        tx, rx = UniformPlanarArray(2, 2), UniformPlanarArray(2, 2)
+        a = sample_nyc_channel(tx, rx, np.random.default_rng(3))
+        b = sample_nyc_channel(tx, rx, np.random.default_rng(3))
+        np.testing.assert_allclose(a.powers, b.powers)
+        np.testing.assert_allclose(a.rx_steering, b.rx_steering)

@@ -1,0 +1,82 @@
+"""Tests for the drifting-channel process."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.upa import UniformPlanarArray
+from repro.channel.drift import DriftingChannelProcess
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def arrays():
+    return UniformPlanarArray(2, 2), UniformPlanarArray(2, 4)
+
+
+def _covariance_correlation(a, b) -> float:
+    qa = a.full_rx_covariance()
+    qb = b.full_rx_covariance()
+    return float(
+        np.abs(np.vdot(qa, qb)) / (np.linalg.norm(qa) * np.linalg.norm(qb))
+    )
+
+
+class TestDriftingChannelProcess:
+    def test_invalid_drift(self, arrays, rng):
+        with pytest.raises(ValidationError):
+            DriftingChannelProcess(*arrays, rng, drift_deg_per_step=-1.0)
+
+    def test_zero_drift_freezes_geometry(self, arrays, rng):
+        process = DriftingChannelProcess(*arrays, rng, drift_deg_per_step=0.0)
+        first = process.step()
+        second = process.step()
+        np.testing.assert_allclose(
+            first.full_rx_covariance(), second.full_rx_covariance(), atol=1e-12
+        )
+
+    def test_step_counter(self, arrays, rng):
+        process = DriftingChannelProcess(*arrays, rng)
+        assert process.steps_taken == 0
+        process.step()
+        process.step()
+        assert process.steps_taken == 2
+
+    def test_power_conserved(self, arrays, rng):
+        process = DriftingChannelProcess(*arrays, rng, drift_deg_per_step=3.0)
+        for _ in range(5):
+            channel = process.step()
+            assert channel.powers.sum() == pytest.approx(1.0)
+
+    def test_small_drift_keeps_covariance_correlated(self, arrays, rng):
+        process = DriftingChannelProcess(*arrays, rng, drift_deg_per_step=0.5)
+        start = process.current_channel()
+        process.step()
+        after = process.current_channel()
+        assert _covariance_correlation(start, after) > 0.9
+
+    def test_larger_drift_decorrelates_faster(self, arrays):
+        correlations = {}
+        for drift in (0.5, 10.0):
+            process = DriftingChannelProcess(
+                *arrays, np.random.default_rng(7), drift_deg_per_step=drift
+            )
+            start = process.current_channel()
+            for _ in range(10):
+                process.step()
+            correlations[drift] = _covariance_correlation(
+                start, process.current_channel()
+            )
+        assert correlations[10.0] < correlations[0.5]
+
+    def test_snr_propagates(self, arrays, rng):
+        process = DriftingChannelProcess(*arrays, rng, snr=42.0)
+        assert process.step().snr == 42.0
+
+    def test_cluster_count_fixed(self, arrays, rng):
+        process = DriftingChannelProcess(*arrays, rng)
+        count = process.num_clusters
+        for _ in range(4):
+            process.step()
+        assert process.num_clusters == count

@@ -1,0 +1,49 @@
+"""Tests for the thermal-noise / link-budget helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.noise import link_snr_db, link_snr_linear, thermal_noise_dbm
+from repro.exceptions import ValidationError
+
+
+class TestThermalNoise:
+    def test_classic_value(self):
+        """kT0 * 1 Hz is -174 dBm/Hz at 290 K."""
+        assert thermal_noise_dbm(1.0) == pytest.approx(-173.98, abs=0.05)
+
+    def test_bandwidth_scaling(self):
+        """x10 bandwidth -> +10 dB noise."""
+        assert thermal_noise_dbm(1e9) - thermal_noise_dbm(1e8) == pytest.approx(10.0)
+
+    def test_noise_figure_additive(self):
+        assert thermal_noise_dbm(1e6, noise_figure_db=7.0) == pytest.approx(
+            thermal_noise_dbm(1e6) + 7.0
+        )
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValidationError):
+            thermal_noise_dbm(0.0)
+
+
+class TestLinkSnr:
+    def test_budget_arithmetic(self):
+        """SNR = P_tx - PL - N."""
+        snr = link_snr_db(30.0, 120.0, 1e9, noise_figure_db=5.0)
+        noise = thermal_noise_dbm(1e9, 5.0)
+        assert snr == pytest.approx(30.0 - 120.0 - noise)
+
+    def test_linear_consistency(self):
+        db = link_snr_db(30.0, 110.0, 1e8)
+        linear = link_snr_linear(30.0, 110.0, 1e8)
+        assert linear == pytest.approx(10 ** (db / 10))
+
+    def test_mmwave_regime_sanity(self):
+        """A 28 GHz microcell at 100 m LOS with 30 dBm should close with
+        positive pre-beamforming SNR over a modest bandwidth."""
+        from repro.channel.pathloss import LinkState, NycPathLoss
+
+        loss = NycPathLoss().mean_path_loss_db(100.0, LinkState.LOS)
+        snr = link_snr_db(30.0, loss, 100e6, noise_figure_db=7.0)
+        assert snr > 0.0

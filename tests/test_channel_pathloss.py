@@ -1,0 +1,108 @@
+"""Tests for path-loss and link-state models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import (
+    NYC_28GHZ_LOS,
+    NYC_28GHZ_NLOS,
+    NYC_73GHZ_LOS,
+    LinkState,
+    NycPathLoss,
+    NycPathLossParams,
+    friis_path_loss_db,
+)
+from repro.exceptions import ValidationError
+
+
+class TestFriis:
+    def test_reference_value(self):
+        """FSPL at 1 m, 28 GHz is ~61.4 dB (the NYC LOS alpha)."""
+        assert friis_path_loss_db(1.0, 28e9) == pytest.approx(61.4, abs=0.2)
+
+    def test_distance_scaling(self):
+        """+20 dB per decade of distance."""
+        near = friis_path_loss_db(10.0, 28e9)
+        far = friis_path_loss_db(100.0, 28e9)
+        assert far - near == pytest.approx(20.0)
+
+    def test_frequency_scaling(self):
+        """Higher carrier -> more isotropic loss (the paper's Sec. I point)."""
+        assert friis_path_loss_db(100.0, 73e9) > friis_path_loss_db(100.0, 28e9)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            friis_path_loss_db(0.0, 28e9)
+
+
+class TestNycPathLoss:
+    def test_state_probabilities_sum_to_one(self):
+        model = NycPathLoss()
+        for distance in (10.0, 50.0, 100.0, 200.0, 500.0):
+            probs = model.state_probabilities(distance)
+            assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_los_probability_decreasing(self):
+        model = NycPathLoss()
+        los = [
+            model.state_probabilities(d)[LinkState.LOS] for d in (10, 50, 100, 200)
+        ]
+        assert all(b <= a for a, b in zip(los, los[1:]))
+
+    def test_outage_grows_with_distance(self):
+        model = NycPathLoss()
+        near = model.state_probabilities(50.0)[LinkState.OUTAGE]
+        far = model.state_probabilities(400.0)[LinkState.OUTAGE]
+        assert far > near
+
+    def test_mean_path_loss_values(self):
+        model = NycPathLoss()
+        # alpha + 10 * beta * log10(d) at 100 m.
+        assert model.mean_path_loss_db(100.0, LinkState.LOS) == pytest.approx(
+            61.4 + 20.0 * 2.0
+        )
+        assert model.mean_path_loss_db(100.0, LinkState.NLOS) == pytest.approx(
+            72.0 + 20.0 * 2.92
+        )
+
+    def test_outage_infinite_loss(self):
+        assert NycPathLoss().mean_path_loss_db(100.0, LinkState.OUTAGE) == float("inf")
+
+    def test_nlos_exceeds_los(self):
+        model = NycPathLoss()
+        for d in (20.0, 100.0, 300.0):
+            assert model.mean_path_loss_db(d, LinkState.NLOS) > model.mean_path_loss_db(
+                d, LinkState.LOS
+            )
+
+    def test_shadowing_statistics(self, rng):
+        model = NycPathLoss()
+        samples = [
+            model.sample_path_loss_db(100.0, LinkState.LOS, rng) for _ in range(3000)
+        ]
+        median = model.mean_path_loss_db(100.0, LinkState.LOS)
+        assert np.mean(samples) == pytest.approx(median, abs=0.5)
+        assert np.std(samples) == pytest.approx(
+            NYC_28GHZ_LOS.shadowing_sigma_db, rel=0.1
+        )
+
+    def test_sample_state_distribution(self, rng):
+        model = NycPathLoss()
+        states = [model.sample_state(100.0, rng) for _ in range(2000)]
+        empirical = {
+            state: states.count(state) / len(states)
+            for state in LinkState
+        }
+        expected = model.state_probabilities(100.0)
+        for state in LinkState:
+            assert empirical[state] == pytest.approx(expected[state], abs=0.05)
+
+    def test_73ghz_params(self):
+        model = NycPathLoss(los=NYC_73GHZ_LOS)
+        assert model.mean_path_loss_db(1.0, LinkState.LOS) == pytest.approx(69.8)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValidationError):
+            NycPathLossParams(alpha_db=60.0, beta=2.0, shadowing_sigma_db=-1.0)

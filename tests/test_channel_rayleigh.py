@@ -1,0 +1,64 @@
+"""Tests for correlated Rayleigh sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.rayleigh import covariance_sqrt, sample_correlated_rayleigh
+from repro.exceptions import ValidationError
+from repro.utils.linalg import random_psd
+
+
+class TestCovarianceSqrt:
+    def test_square_property(self, rng):
+        q = random_psd(6, 3, rng)
+        root = covariance_sqrt(q)
+        np.testing.assert_allclose(root @ root, q, atol=1e-10)
+
+    def test_hermitian_output(self, rng):
+        root = covariance_sqrt(random_psd(5, 5, rng))
+        np.testing.assert_allclose(root, root.conj().T, atol=1e-12)
+
+    def test_identity(self):
+        np.testing.assert_allclose(covariance_sqrt(np.eye(4)), np.eye(4), atol=1e-12)
+
+    def test_clips_roundoff_negatives(self):
+        q = np.diag([1.0, -1e-12])
+        root = covariance_sqrt(q)
+        assert np.all(np.isfinite(root))
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(ValidationError):
+            covariance_sqrt(np.diag([1.0, -0.5]))
+
+
+class TestSampling:
+    def test_shape_default(self, rng):
+        q = random_psd(6, 2, rng)
+        h = sample_correlated_rayleigh(rng, q)
+        assert h.shape == (6, 1)
+
+    def test_shape_tx_dim(self, rng):
+        q = random_psd(6, 2, rng)
+        assert sample_correlated_rayleigh(rng, q, tx_dim=4).shape == (6, 4)
+
+    def test_shape_with_tx_covariance(self, rng):
+        q_rx = random_psd(5, 2, rng)
+        q_tx = random_psd(3, 3, rng)
+        assert sample_correlated_rayleigh(rng, q_rx, tx_covariance=q_tx).shape == (5, 3)
+
+    def test_rx_covariance_statistics(self, rng):
+        """E[h h^H] -> Q for white TX side."""
+        q = random_psd(4, 2, rng, scale=2.0)
+        accumulator = np.zeros((4, 4), dtype=complex)
+        count = 6000
+        for _ in range(count):
+            h = sample_correlated_rayleigh(rng, q)
+            accumulator += h @ h.conj().T
+        empirical = accumulator / count
+        assert np.linalg.norm(empirical - q) / np.linalg.norm(q) < 0.1
+
+    def test_invalid_tx_dim(self, rng):
+        with pytest.raises(ValidationError):
+            sample_correlated_rayleigh(rng, np.eye(3), tx_dim=0)

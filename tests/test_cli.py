@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig5", "--quick", "--trials", "3", "--seed", "7"]
+        )
+        assert args.experiment == "fig5"
+        assert args.quick
+        assert args.trials == 3
+        assert args.seed == 7
+
+    def test_align_options(self):
+        args = build_parser().parse_args(["align", "--channel", "singlepath", "--rate", "0.2"])
+        assert args.channel == "singlepath"
+        assert args.rate == 0.2
+
+
+class TestCommands:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig5", "fig6", "fig7", "fig8", "lowrank"):
+            assert experiment_id in output
+
+    def test_run_quick(self, capsys):
+        assert main(["run", "mc-recovery", "--quick"]) == 0
+        assert "rel. error" in capsys.readouterr().out
+
+    def test_run_writes_json(self, capsys, tmp_path: Path):
+        target = tmp_path / "out.json"
+        assert main(["run", "mc-recovery", "--quick", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["id"] == "mc-recovery"
+        assert "data" in payload
+
+    def test_run_unknown_experiment(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "not-an-experiment"])
+
+    def test_align(self, capsys):
+        assert (
+            main(
+                [
+                    "align",
+                    "--channel",
+                    "multipath",
+                    "--rate",
+                    "0.05",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        for name in ("Random", "Scan", "Proposed"):
+            assert name in output
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

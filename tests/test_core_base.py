@@ -1,0 +1,98 @@
+"""Tests for the alignment context and algorithm interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import AlignmentContext
+from repro.exceptions import BudgetExhaustedError, ValidationError
+from repro.measurement.budget import MeasurementBudget
+from repro.measurement.measurer import MeasurementEngine
+from repro.types import BeamPair
+
+
+@pytest.fixture
+def context(small_channel, tx_codebook, rx_codebook, rng):
+    engine = MeasurementEngine(small_channel, rng, fading_blocks=2)
+    budget = MeasurementBudget(
+        total_pairs=tx_codebook.num_beams * rx_codebook.num_beams, limit=20
+    )
+    return AlignmentContext(tx_codebook, rx_codebook, engine, budget)
+
+
+class TestContextBasics:
+    def test_total_pairs(self, context):
+        assert context.total_pairs == 4 * 18
+
+    def test_noise_variance(self, context):
+        assert context.noise_variance == pytest.approx(0.01)
+
+    def test_budget_mismatch_rejected(self, small_channel, tx_codebook, rx_codebook, rng):
+        engine = MeasurementEngine(small_channel, rng)
+        bad_budget = MeasurementBudget(total_pairs=10, limit=5)
+        with pytest.raises(ValidationError):
+            AlignmentContext(tx_codebook, rx_codebook, engine, bad_budget)
+
+
+class TestMeasurement:
+    def test_measure_records(self, context):
+        measurement = context.measure(BeamPair(0, 0))
+        assert context.is_measured(BeamPair(0, 0))
+        assert context.num_measurements == 1
+        assert context.trace == [measurement]
+
+    def test_repeat_measurement_rejected(self, context):
+        context.measure(BeamPair(1, 2))
+        with pytest.raises(ValidationError):
+            context.measure(BeamPair(1, 2))
+
+    def test_budget_enforced(self, context):
+        for i in range(20):
+            context.measure(BeamPair(i % 4, i // 4 + (i % 4) * 4))
+        with pytest.raises(BudgetExhaustedError):
+            context.measure(BeamPair(3, 17))
+
+    def test_measured_rx_beams(self, context):
+        context.measure(BeamPair(2, 5))
+        context.measure(BeamPair(2, 9))
+        context.measure(BeamPair(1, 5))
+        assert context.measured_rx_beams(2) == {5, 9}
+        assert context.measured_rx_beams(0) == set()
+
+    def test_measure_vectors_charges_budget(self, context, tx_codebook, rx_codebook):
+        context.measure_vectors(tx_codebook.beam(0), rx_codebook.beam(0))
+        assert context.num_measurements == 1
+        # Off-codebook probes have no pair identity -> no dedup entry.
+        assert not context.is_measured(BeamPair(0, 0))
+
+
+class TestOutcome:
+    def test_best_measured(self, context):
+        for pair in (BeamPair(0, 0), BeamPair(1, 3), BeamPair(3, 10)):
+            context.measure(pair)
+        best = context.best_measured()
+        assert best.power == max(m.power for m in context.trace)
+
+    def test_best_measured_empty(self, context):
+        with pytest.raises(ValidationError):
+            context.best_measured()
+
+    def test_result_defaults_to_best(self, context):
+        context.measure(BeamPair(0, 1))
+        context.measure(BeamPair(2, 4))
+        result = context.result("test")
+        assert result.selected in (BeamPair(0, 1), BeamPair(2, 4))
+        assert result.algorithm == "test"
+        assert result.measurements_used == 2
+
+    def test_result_with_explicit_selection(self, context):
+        context.measure(BeamPair(0, 1))
+        result = context.result("test", selected=BeamPair(0, 1))
+        assert result.selected == BeamPair(0, 1)
+        assert result.selected_power == context.trace[0].power
+
+    def test_result_search_rate(self, context):
+        context.measure(BeamPair(0, 0))
+        result = context.result("test")
+        assert result.search_rate == pytest.approx(1 / 72)

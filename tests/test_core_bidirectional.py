@@ -1,0 +1,84 @@
+"""Tests for the bidirectional alignment extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import AlignmentContext
+from repro.core.bidirectional import BidirectionalAlignment
+from repro.exceptions import ValidationError
+from repro.measurement.budget import MeasurementBudget
+from repro.measurement.measurer import MeasurementEngine
+from repro.sim.metrics import loss_from_matrix_db
+
+
+def _context(small_channel, tx_codebook, rx_codebook, rng, limit):
+    engine = MeasurementEngine(small_channel, rng, fading_blocks=4)
+    budget = MeasurementBudget(
+        total_pairs=tx_codebook.num_beams * rx_codebook.num_beams, limit=limit
+    )
+    return AlignmentContext(tx_codebook, rx_codebook, engine, budget)
+
+
+class TestConstruction:
+    def test_invalid_j(self):
+        with pytest.raises(ValidationError):
+            BidirectionalAlignment(measurements_per_slot=0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            BidirectionalAlignment(signal_threshold=-0.1)
+
+
+class TestExecution:
+    def test_spends_budget(self, small_channel, tx_codebook, rx_codebook, rng):
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, 30)
+        result = BidirectionalAlignment(measurements_per_slot=4).align(context, rng)
+        assert result.measurements_used == 30
+        assert result.algorithm == "Bidirectional"
+
+    def test_no_repeated_pairs(self, small_channel, tx_codebook, rx_codebook, rng):
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, 40)
+        result = BidirectionalAlignment(measurements_per_slot=4).align(context, rng)
+        pairs = [m.pair for m in result.trace]
+        assert len(pairs) == len(set(pairs))
+
+    def test_forward_slots_fix_tx(self, small_channel, tx_codebook, rx_codebook, rng):
+        """Even slots dwell on one TX beam; odd slots dwell on one RX beam."""
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, 32)
+        result = BidirectionalAlignment(measurements_per_slot=4).align(context, rng)
+        by_slot = {}
+        for m in result.trace:
+            by_slot.setdefault(m.slot, []).append(m.pair)
+        for slot, pairs in by_slot.items():
+            if slot % 2 == 0:
+                assert len({p.tx_index for p in pairs}) == 1
+            else:
+                assert len({p.rx_index for p in pairs}) == 1
+
+    def test_full_budget_measures_everything(
+        self, small_channel, tx_codebook, rx_codebook, rng
+    ):
+        total = tx_codebook.num_beams * rx_codebook.num_beams
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, total)
+        result = BidirectionalAlignment(measurements_per_slot=4).align(context, rng)
+        assert result.measurements_used == total
+
+    def test_reasonable_quality(self, small_channel, tx_codebook, rx_codebook, rng):
+        snr = small_channel.mean_snr_matrix(tx_codebook, rx_codebook)
+        context = _context(small_channel, tx_codebook, rx_codebook, rng, 50)
+        result = BidirectionalAlignment(measurements_per_slot=4).align(context, rng)
+        assert loss_from_matrix_db(snr, result.selected) < 8.0
+
+    def test_deterministic(self, small_channel, tx_codebook, rx_codebook):
+        outcomes = []
+        for _ in range(2):
+            context = _context(
+                small_channel, tx_codebook, rx_codebook, np.random.default_rng(3), 24
+            )
+            result = BidirectionalAlignment(measurements_per_slot=4).align(
+                context, np.random.default_rng(4)
+            )
+            outcomes.append(result.selected)
+        assert outcomes[0] == outcomes[1]

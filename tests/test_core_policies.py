@@ -1,0 +1,52 @@
+"""Tests for TX-beam policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import RandomTxPolicy, RoundRobinTxPolicy, SnakeTxPolicy
+
+
+class TestRandomTxPolicy:
+    def test_avoids_used(self, tx_codebook, rng):
+        policy = RandomTxPolicy()
+        used = {0, 1, 2}
+        for _ in range(20):
+            beam = policy.next_beam(0, tx_codebook, used, rng)
+            assert beam == 3
+
+    def test_cycles_when_all_used(self, tx_codebook, rng):
+        policy = RandomTxPolicy()
+        used = set(range(tx_codebook.num_beams))
+        beam = policy.next_beam(5, tx_codebook, used, rng)
+        assert 0 <= beam < tx_codebook.num_beams
+
+    def test_uniform_coverage(self, tx_codebook, rng):
+        policy = RandomTxPolicy()
+        seen = {policy.next_beam(0, tx_codebook, set(), rng) for _ in range(200)}
+        assert seen == set(range(tx_codebook.num_beams))
+
+
+class TestSnakeTxPolicy:
+    def test_deterministic_sweep(self, tx_codebook, rng):
+        policy = SnakeTxPolicy()
+        order = [policy.next_beam(slot, tx_codebook, set(), rng) for slot in range(4)]
+        assert order == tx_codebook.snake_order(0)
+
+    def test_wraps(self, tx_codebook, rng):
+        policy = SnakeTxPolicy()
+        assert policy.next_beam(4, tx_codebook, set(), rng) == policy.next_beam(
+            0, tx_codebook, set(), rng
+        )
+
+    def test_start_offset(self, tx_codebook, rng):
+        policy = SnakeTxPolicy(start=2)
+        assert policy.next_beam(0, tx_codebook, set(), rng) == 2
+
+
+class TestRoundRobinTxPolicy:
+    def test_index_order(self, tx_codebook, rng):
+        policy = RoundRobinTxPolicy()
+        order = [policy.next_beam(slot, tx_codebook, set(), rng) for slot in range(6)]
+        assert order == [0, 1, 2, 3, 0, 1]

@@ -1,0 +1,61 @@
+"""Tests for alignment results and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import AlignmentResult, SlotRecord
+from repro.exceptions import ValidationError
+from repro.measurement.measurer import Measurement
+from repro.types import BeamPair
+
+
+class TestSlotRecord:
+    def test_fields(self):
+        record = SlotRecord(slot=1, tx_beam=2, probe_rx_beams=(3, 4), decided_rx_beam=5)
+        assert record.probe_rx_beams == (3, 4)
+        assert record.decided_rx_beam == 5
+
+
+class TestAlignmentResult:
+    def _result(self, **overrides):
+        defaults = dict(
+            algorithm="test",
+            selected=BeamPair(0, 1),
+            selected_power=1.5,
+            measurements_used=10,
+            total_pairs=100,
+        )
+        defaults.update(overrides)
+        return AlignmentResult(**defaults)
+
+    def test_search_rate(self):
+        assert self._result().search_rate == pytest.approx(0.1)
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValidationError):
+            self._result(measurements_used=-1)
+        with pytest.raises(ValidationError):
+            self._result(total_pairs=0)
+
+    def test_measured_pairs_dedup_and_order(self):
+        trace = [
+            Measurement(power=1.0, z=1 + 0j, pair=BeamPair(0, 0)),
+            Measurement(power=2.0, z=1 + 0j, pair=None),  # wide-beam probe
+            Measurement(power=3.0, z=1 + 0j, pair=BeamPair(1, 1)),
+            Measurement(power=4.0, z=1 + 0j, pair=BeamPair(0, 0)),
+        ]
+        result = self._result(trace=trace)
+        assert result.measured_pairs() == [BeamPair(0, 0), BeamPair(1, 1)]
+
+
+class TestBeamPair:
+    def test_ordering(self):
+        assert BeamPair(0, 1) < BeamPair(1, 0)
+
+    def test_hashable(self):
+        assert len({BeamPair(0, 1), BeamPair(0, 1), BeamPair(1, 0)}) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BeamPair(-1, 0)

@@ -1,0 +1,79 @@
+"""Tests for eigen-beamforming (Eq. 26)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.upa import UniformPlanarArray
+from repro.estimation.eigenbeam import (
+    best_codebook_beam,
+    eigen_beamformer,
+    quantization_loss_db,
+    select_probe_beams,
+)
+from repro.utils.linalg import random_psd
+
+
+@pytest.fixture
+def codebook() -> Codebook:
+    return Codebook.grid(UniformPlanarArray(2, 4), n_azimuth=6, n_elevation=3)
+
+
+class TestBestBeam:
+    def test_matches_codebook_argmax(self, codebook, rng):
+        q = random_psd(8, 2, rng)
+        assert best_codebook_beam(codebook, q) == codebook.best_beam(q)
+
+    def test_exclusion(self, codebook, rng):
+        q = random_psd(8, 2, rng)
+        best = best_codebook_beam(codebook, q)
+        assert best_codebook_beam(codebook, q, exclude={best}) != best
+
+
+class TestSelectProbeBeams:
+    def test_count_and_order(self, codebook, rng):
+        q = random_psd(8, 3, rng)
+        beams = select_probe_beams(codebook, q, 4)
+        gains = codebook.gains(q)
+        assert len(beams) == 4
+        assert all(gains[a] >= gains[b] - 1e-12 for a, b in zip(beams, beams[1:]))
+
+
+class TestEigenBeamformer:
+    def test_unit_norm(self, rng):
+        assert np.linalg.norm(eigen_beamformer(random_psd(8, 2, rng))) == pytest.approx(1.0)
+
+    def test_maximizes_quadratic_form(self, rng):
+        q = random_psd(8, 2, rng)
+        vec = eigen_beamformer(q)
+        value = float(np.real(vec.conj() @ q @ vec))
+        for _ in range(10):
+            other = rng.normal(size=8) + 1j * rng.normal(size=8)
+            other /= np.linalg.norm(other)
+            assert value >= float(np.real(other.conj() @ q @ other)) - 1e-9
+
+
+class TestQuantizationLoss:
+    def test_nonnegative(self, codebook, rng):
+        for _ in range(5):
+            q = random_psd(8, 2, rng)
+            assert quantization_loss_db(codebook, q) >= -1e-9
+
+    def test_zero_when_covariance_is_beam(self, codebook):
+        """Covariance aligned with a codebook beam has ~no quantization loss."""
+        v = codebook.beam(7)
+        q = np.outer(v, v.conj())
+        assert quantization_loss_db(codebook, q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_denser_codebook_reduces_loss(self, rng):
+        array = UniformPlanarArray(2, 4)
+        coarse = Codebook.grid(array, n_azimuth=4, n_elevation=2)
+        dense = Codebook.grid(array, n_azimuth=12, n_elevation=6)
+        losses_coarse, losses_dense = [], []
+        for _ in range(10):
+            q = random_psd(8, 1, rng)
+            losses_coarse.append(quantization_loss_db(coarse, q))
+            losses_dense.append(quantization_loss_db(dense, q))
+        assert np.mean(losses_dense) <= np.mean(losses_coarse)

@@ -1,0 +1,117 @@
+"""Tests for the measurement likelihood (Eq. 14/18/22)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation.likelihood import (
+    expected_powers,
+    negative_log_likelihood,
+    nll_gradient,
+    nll_value_and_gradient,
+)
+from repro.exceptions import ValidationError
+from repro.mc.operators import QuadraticFormOperator
+from repro.utils.linalg import random_psd
+
+
+@pytest.fixture
+def setup(rng):
+    n, m = 6, 5
+    probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+    probes /= np.linalg.norm(probes, axis=0)
+    operator = QuadraticFormOperator(probes)
+    q = random_psd(n, 2, rng)
+    powers = np.abs(rng.normal(size=m)) + 0.01
+    return operator, q, powers
+
+
+class TestExpectedPowers:
+    def test_formula(self, setup):
+        operator, q, _ = setup
+        noise = 0.05
+        lambdas = expected_powers(q, operator, noise)
+        for j in range(operator.num_measurements):
+            v = operator.probes[:, j]
+            expected = float(np.real(v.conj() @ q @ v)) + noise
+            assert lambdas[j] == pytest.approx(expected, abs=1e-10)
+
+    def test_custom_offsets(self, setup):
+        operator, q, _ = setup
+        offsets = np.full(operator.num_measurements, 0.3)
+        lambdas = expected_powers(q, operator, 1.0, offsets=offsets)
+        np.testing.assert_allclose(lambdas - operator.apply(q), 0.3)
+
+    def test_positive_for_psd(self, setup):
+        operator, q, _ = setup
+        assert np.all(expected_powers(q, operator, 0.01) > 0)
+
+
+class TestNll:
+    def test_minimized_near_truth(self, rng):
+        """With many measurements, NLL at the truth beats perturbations."""
+        n, m = 5, 400
+        probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+        probes /= np.linalg.norm(probes, axis=0)
+        operator = QuadraticFormOperator(probes)
+        truth = random_psd(n, 2, rng)
+        noise = 0.05
+        lambdas = expected_powers(truth, operator, noise)
+        powers = lambdas * rng.exponential(size=m)  # exact model
+        at_truth = negative_log_likelihood(truth, operator, powers, noise)
+        for _ in range(5):
+            perturbed = random_psd(n, 2, rng)
+            assert at_truth <= negative_log_likelihood(
+                perturbed, operator, powers, noise
+            )
+
+    def test_gradient_matches_finite_difference(self, setup):
+        operator, q, powers = setup
+        noise = 0.05
+        gradient = nll_gradient(q, operator, powers, noise)
+        rng = np.random.default_rng(9)
+        direction = random_psd(q.shape[0], 3, rng) - random_psd(q.shape[0], 3, rng)
+        eps = 1e-6
+        plus = negative_log_likelihood(q + eps * direction, operator, powers, noise)
+        minus = negative_log_likelihood(q - eps * direction, operator, powers, noise)
+        numerical = (plus - minus) / (2 * eps)
+        analytic = float(np.real(np.vdot(gradient, direction)))
+        assert analytic == pytest.approx(numerical, rel=1e-4)
+
+    def test_value_and_gradient_consistent(self, setup):
+        operator, q, powers = setup
+        value, gradient = nll_value_and_gradient(q, operator, powers, 0.05)
+        assert value == pytest.approx(
+            negative_log_likelihood(q, operator, powers, 0.05)
+        )
+        np.testing.assert_allclose(
+            gradient, nll_gradient(q, operator, powers, 0.05), atol=1e-12
+        )
+
+    def test_gradient_hermitian(self, setup):
+        operator, q, powers = setup
+        gradient = nll_gradient(q, operator, powers, 0.05)
+        np.testing.assert_allclose(gradient, gradient.conj().T, atol=1e-12)
+
+
+class TestValidation:
+    def test_negative_powers_rejected(self, setup):
+        operator, q, _ = setup
+        with pytest.raises(ValidationError):
+            negative_log_likelihood(q, operator, -np.ones(5), 0.05)
+
+    def test_wrong_power_count(self, setup):
+        operator, q, _ = setup
+        with pytest.raises(ValidationError):
+            negative_log_likelihood(q, operator, np.ones(3), 0.05)
+
+    def test_zero_noise_rejected(self, setup):
+        operator, q, powers = setup
+        with pytest.raises(ValidationError):
+            negative_log_likelihood(q, operator, powers, 0.0)
+
+    def test_bad_offsets(self, setup):
+        operator, q, powers = setup
+        with pytest.raises(ValidationError):
+            negative_log_likelihood(q, operator, powers, 1.0, offsets=np.zeros(5))

@@ -1,0 +1,75 @@
+"""Tests for the LS+nuclear and back-projection estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation.likelihood import expected_powers
+from repro.estimation.ls_covariance import LsCovarianceEstimator
+from repro.estimation.sample_covariance import BackProjectionEstimator
+from repro.mc.operators import QuadraticFormOperator
+from repro.utils.linalg import dominant_eigenvector, random_psd
+
+
+def _setup(rng, n=8, m=128, rank=1, noise=0.01, exact=False):
+    probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+    probes /= np.linalg.norm(probes, axis=0)
+    operator = QuadraticFormOperator(probes)
+    truth = random_psd(n, rank, rng, scale=float(n))
+    lambdas = expected_powers(truth, operator, noise)
+    powers = lambdas if exact else lambdas * rng.exponential(size=m)
+    return probes, truth, np.asarray(powers)
+
+
+class TestLsEstimator:
+    def test_psd_output(self, rng):
+        probes, _, powers = _setup(rng)
+        estimate = LsCovarianceEstimator().estimate(probes, powers, 0.01)
+        assert np.min(np.linalg.eigvalsh(estimate)) >= -1e-9
+
+    def test_exact_measurements_recover_direction(self, rng):
+        probes, truth, powers = _setup(rng, exact=True)
+        estimate = LsCovarianceEstimator(mu=1e-4).estimate(probes, powers, 0.01)
+        overlap = abs(
+            np.vdot(dominant_eigenvector(truth), dominant_eigenvector(estimate))
+        )
+        assert overlap > 0.95
+
+    def test_warm_start_tracked(self, rng):
+        probes, _, powers = _setup(rng, m=10)
+        estimator = LsCovarianceEstimator()
+        estimator.estimate(probes, powers, 0.01)
+        assert estimator.warm_start is not None
+        estimator.reset()
+        assert estimator.warm_start is None
+
+
+class TestBackProjection:
+    def test_psd_output(self, rng):
+        probes, _, powers = _setup(rng)
+        estimate = BackProjectionEstimator().estimate(probes, powers, 0.01)
+        assert np.min(np.linalg.eigvalsh(estimate)) >= -1e-9
+
+    def test_direction_recovery_exact(self, rng):
+        probes, truth, powers = _setup(rng, m=256, exact=True)
+        estimate = BackProjectionEstimator().estimate(probes, powers, 0.01)
+        overlap = abs(
+            np.vdot(dominant_eigenvector(truth), dominant_eigenvector(estimate))
+        )
+        assert overlap > 0.85
+
+    def test_rank_truncation(self, rng):
+        probes, _, powers = _setup(rng, rank=3)
+        estimate = BackProjectionEstimator(rank=2).estimate(probes, powers, 0.01)
+        values = np.linalg.eigvalsh(estimate)
+        assert np.sum(values > 1e-9 * max(values.max(), 1e-30)) <= 2
+
+    def test_noise_debiasing(self, rng):
+        """Pure-noise powers map to a (nearly) zero estimate."""
+        n, m, noise = 6, 40, 0.02
+        probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+        probes /= np.linalg.norm(probes, axis=0)
+        powers = np.full(m, noise)  # exactly the floor
+        estimate = BackProjectionEstimator().estimate(probes, powers, noise)
+        assert float(np.real(np.trace(estimate))) < 1e-9

@@ -1,0 +1,93 @@
+"""Tests for MUSIC direction estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.steering import steering_vector
+from repro.arrays.ula import UniformLinearArray
+from repro.arrays.upa import UniformPlanarArray
+from repro.estimation.music import music_beam_ranking, music_spectrum, noise_subspace
+from repro.exceptions import ValidationError
+from repro.utils.geometry import Direction
+
+
+def _covariance_from_angles(array, angles, powers, noise=0.0):
+    q = noise * np.eye(array.num_elements, dtype=complex)
+    for angle, power in zip(angles, powers):
+        a = steering_vector(array, Direction(angle))
+        q = q + power * np.outer(a, a.conj())
+    return q
+
+
+class TestNoiseSubspace:
+    def test_dimensions(self):
+        q = np.eye(6)
+        basis = noise_subspace(q, 2)
+        assert basis.shape == (6, 4)
+
+    def test_orthonormal(self, rng):
+        from repro.utils.linalg import random_psd
+
+        basis = noise_subspace(random_psd(8, 3, rng), 3)
+        gram = basis.conj().T @ basis
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-10)
+
+    def test_orthogonal_to_signal(self):
+        array = UniformLinearArray(8)
+        q = _covariance_from_angles(array, [0.3], [1.0])
+        basis = noise_subspace(q, 1)
+        a = steering_vector(array, Direction(0.3))
+        assert np.linalg.norm(basis.conj().T @ a) < 1e-8
+
+    def test_invalid_num_sources(self):
+        with pytest.raises(ValidationError):
+            noise_subspace(np.eye(4), 0)
+        with pytest.raises(ValidationError):
+            noise_subspace(np.eye(4), 4)
+
+
+class TestMusicSpectrum:
+    def test_peak_at_true_angle(self):
+        array = UniformLinearArray(12)
+        true_angle = 0.42
+        q = _covariance_from_angles(array, [true_angle], [1.0], noise=0.01)
+        grid = np.linspace(-1.2, 1.2, 601)
+        spectrum = music_spectrum(
+            q, array, [Direction(float(a)) for a in grid], num_sources=1
+        )
+        assert grid[int(np.argmax(spectrum))] == pytest.approx(true_angle, abs=0.01)
+
+    def test_two_sources_resolved(self):
+        array = UniformLinearArray(16)
+        angles = [-0.5, 0.4]
+        q = _covariance_from_angles(array, angles, [1.0, 0.8], noise=0.01)
+        grid = np.linspace(-1.2, 1.2, 1201)
+        spectrum = music_spectrum(
+            q, array, [Direction(float(a)) for a in grid], num_sources=2
+        )
+        # Both true angles are local maxima well above the median level.
+        for angle in angles:
+            index = int(np.argmin(np.abs(grid - angle)))
+            assert spectrum[index] > 20 * np.median(spectrum)
+
+
+class TestBeamRanking:
+    def test_true_beam_ranked_first(self):
+        array = UniformPlanarArray(4, 4)
+        codebook = Codebook.grid(array, n_azimuth=8, n_elevation=8)
+        beam_index = 27
+        d = codebook.direction(beam_index)
+        a = steering_vector(array, d)
+        q = np.outer(a, a.conj()) + 0.001 * np.eye(16)
+        ranking = music_beam_ranking(q, codebook, num_sources=1)
+        assert ranking[0] == beam_index
+
+    def test_ranking_is_permutation(self, rng):
+        from repro.utils.linalg import random_psd
+
+        codebook = Codebook.for_array(UniformPlanarArray(3, 3))
+        ranking = music_beam_ranking(random_psd(9, 2, rng), codebook, num_sources=2)
+        assert sorted(ranking) == list(range(9))

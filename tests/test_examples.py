@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Each example runs in a subprocess exactly as a user would invoke it;
+these tests pin the public API the examples exercise. The slower
+campaign example runs with ``--trials 1``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Proposed" in result.stdout
+        assert "loss" in result.stdout.lower()
+
+    def test_campaign_single_trial(self):
+        result = _run("beam_alignment_campaign.py", "--trials", "1")
+        assert result.returncode == 0, result.stderr
+        assert "Search effectiveness" in result.stdout
+        assert "Cost efficiency" in result.stdout
+
+    def test_channel_estimation_demo(self):
+        result = _run("channel_estimation_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "decided rx" in result.stdout
+        assert "rank95" in result.stdout

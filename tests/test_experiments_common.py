@@ -1,0 +1,88 @@
+"""Tests for the shared figure-experiment pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    DEFAULT_SEARCH_RATES,
+    DEFAULT_TARGET_LOSSES_DB,
+    run_cost_experiment,
+    run_effectiveness_experiment,
+)
+from repro.sim.config import ChannelKind
+
+
+class TestDefaults:
+    def test_search_rate_grid_valid(self):
+        assert all(0 < rate <= 1 for rate in DEFAULT_SEARCH_RATES)
+        assert list(DEFAULT_SEARCH_RATES) == sorted(DEFAULT_SEARCH_RATES)
+
+    def test_target_grid_valid(self):
+        assert all(target > 0 for target in DEFAULT_TARGET_LOSSES_DB)
+        assert list(DEFAULT_TARGET_LOSSES_DB) == sorted(DEFAULT_TARGET_LOSSES_DB)
+
+
+class TestEffectivenessPipeline:
+    def test_overrides_respected(self):
+        result = run_effectiveness_experiment(
+            "fig5",
+            "title",
+            ChannelKind.SINGLEPATH,
+            num_trials=2,
+            search_rates=(0.2,),
+            base_seed=123,
+        )
+        assert result.data["num_trials"] == 2
+        assert result.data["search_rates"] == [0.2]
+        assert result.data["channel"] == "singlepath"
+
+    def test_quick_flag_shrinks(self):
+        result = run_effectiveness_experiment(
+            "fig6", "title", ChannelKind.MULTIPATH, quick=True
+        )
+        assert result.data["num_trials"] <= 4
+        assert len(result.data["search_rates"]) <= 2
+
+    def test_data_includes_medians_and_cis(self):
+        result = run_effectiveness_experiment(
+            "fig6",
+            "title",
+            ChannelKind.MULTIPATH,
+            num_trials=3,
+            search_rates=(0.2,),
+        )
+        for key in ("mean_loss_db", "median_loss_db", "ci95_db"):
+            assert set(result.data[key]) == {"Random", "Scan", "Proposed"}
+
+    def test_deterministic_given_seed(self):
+        a = run_effectiveness_experiment(
+            "fig6", "t", ChannelKind.MULTIPATH, num_trials=2, search_rates=(0.2,),
+            base_seed=5,
+        )
+        b = run_effectiveness_experiment(
+            "fig6", "t", ChannelKind.MULTIPATH, num_trials=2, search_rates=(0.2,),
+            base_seed=5,
+        )
+        assert a.data["mean_loss_db"] == b.data["mean_loss_db"]
+
+
+class TestCostPipeline:
+    def test_quick_flag(self):
+        result = run_cost_experiment("fig7", "t", ChannelKind.SINGLEPATH, quick=True)
+        assert len(result.data["target_losses_db"]) == 3
+        for series in result.data["required_rates"].values():
+            assert all(0 < rate <= 1 for rate in series)
+
+    def test_targets_and_grid_in_payload(self):
+        result = run_cost_experiment(
+            "fig8",
+            "t",
+            ChannelKind.MULTIPATH,
+            num_trials=2,
+            search_rates=(0.2, 0.5),
+            target_losses_db=(2.0, 8.0),
+        )
+        assert result.data["rate_grid"] == [0.2, 0.5]
+        assert result.data["target_losses_db"] == [2.0, 8.0]

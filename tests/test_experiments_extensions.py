@@ -1,0 +1,43 @@
+"""Quick-mode runs of the extension experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.experiments as experiments
+
+
+class TestSchemeComparison:
+    def test_quick_run(self):
+        result = experiments.run("ext-schemes", quick=True)
+        means = result.data["mean_loss_db"]
+        expected = {
+            "Random",
+            "Scan",
+            "Proposed",
+            "Bidirectional",
+            "Hierarchical",
+            "LocalRefine",
+            "UCB",
+            "DigitalRx",
+            "Genie",
+        }
+        assert set(means) == expected
+        # The genie is exact by construction.
+        assert means["Genie"] == 0.0
+        # Hierarchical descent needs far fewer measurements than the budget.
+        assert (
+            result.data["mean_measurements"]["Hierarchical"]
+            < result.data["mean_measurements"]["Random"]
+        )
+
+
+class TestTracking:
+    def test_quick_run(self):
+        result = experiments.run("ext-tracking", quick=True)
+        drift_data = result.data["drift"]
+        assert len(drift_data) == 1
+        payload = next(iter(drift_data.values()))
+        for key in ("cold_mean_db", "warm_mean_db"):
+            assert np.isfinite(payload[key])
+            assert payload[key] >= 0.0

@@ -1,0 +1,77 @@
+"""Tests for the combined report generator."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.report import collect_results, render_report
+from repro.utils.serialization import dump
+
+
+@pytest.fixture
+def results_dir(tmp_path: Path) -> Path:
+    dump(
+        {
+            "id": "fig5",
+            "title": "Figure 5",
+            "data": {
+                "search_rates": [0.1, 0.2],
+                "mean_loss_db": {"Random": [5.0, 3.0], "Proposed": [3.0, 2.0]},
+            },
+        },
+        tmp_path / "fig5.json",
+    )
+    dump(
+        {
+            "id": "fig7",
+            "title": "Figure 7",
+            "data": {
+                "target_losses_db": [1.0, 3.0],
+                "required_rates": {"Random": [0.5, 0.2], "Proposed": [0.3, 0.1]},
+            },
+        },
+        tmp_path / "fig7.json",
+    )
+    dump({"unrelated": True}, tmp_path / "other.json")
+    (tmp_path / "garbage.json").write_text("not json at all", encoding="utf-8")
+    return tmp_path
+
+
+class TestCollectResults:
+    def test_collects_known_ids_only(self, results_dir):
+        results = collect_results(results_dir)
+        assert set(results) == {"fig5", "fig7"}
+
+    def test_rejects_non_directory(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            collect_results(tmp_path / "nope")
+
+
+class TestRenderReport:
+    def test_contains_sections_and_tables(self, results_dir):
+        text = render_report(collect_results(results_dir))
+        assert "## Figure 5" in text
+        assert "## Figure 7" in text
+        assert "| Proposed | 3.00 | 2.00 |" in text
+        assert "required rate @ target" in text
+
+    def test_empty_results(self):
+        assert "No experiment results" in render_report({})
+
+
+class TestCliReport:
+    def test_report_to_stdout(self, results_dir, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(results_dir)]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_report_to_file(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", str(results_dir), "--out", str(out)]) == 0
+        assert "Figure 5" in out.read_text()

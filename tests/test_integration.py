@@ -1,0 +1,136 @@
+"""Cross-module integration tests.
+
+These run the full pipeline — scenario, channel, measurement, estimation,
+alignment, evaluation — on small but non-trivial configurations and check
+the paper's qualitative claims at test-sized statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.genie import GenieAligner
+from repro.core.proposed import ProposedAlignment
+from repro.sim.config import ChannelKind, ScenarioConfig
+from repro.sim.runner import run_trial, run_trials, standard_schemes
+from repro.sim.scenario import Scenario
+from repro.sim.sweep import effectiveness_sweep, required_search_rates
+
+
+@pytest.fixture(scope="module")
+def medium_scenario() -> Scenario:
+    """Large enough for structure, small enough for CI: 8 x 24 beams."""
+    return Scenario(
+        ScenarioConfig(
+            channel=ChannelKind.MULTIPATH,
+            tx_shape=(2, 4),
+            rx_shape=(4, 4),
+            rx_beam_grid=(4, 6),
+            fading_blocks=8,
+        )
+    )
+
+
+class TestEndToEnd:
+    def test_full_rate_near_zero_loss(self, medium_scenario):
+        """At 100% search rate every scheme approaches the optimum
+        (the paper's stated exhaustive-scan anchor). With 8 fading blocks
+        per dwell, residual selection noise costs at most a couple of dB."""
+        trials = run_trials(medium_scenario, standard_schemes(4), 1.0, 5, base_seed=21)
+        for trial in trials:
+            for outcome in trial.values():
+                assert outcome.loss_db < 3.0
+
+    def test_full_rate_long_dwell_nails_optimum(self):
+        """Long dwells remove selection noise entirely."""
+        scenario = Scenario(
+            ScenarioConfig(
+                channel=ChannelKind.MULTIPATH,
+                tx_shape=(2, 2),
+                rx_shape=(2, 4),
+                rx_beam_grid=(3, 4),
+                fading_blocks=256,
+            )
+        )
+        trials = run_trials(scenario, standard_schemes(4), 1.0, 3, base_seed=41)
+        for trial in trials:
+            for outcome in trial.values():
+                assert outcome.loss_db < 0.5
+
+    def test_losses_decrease_with_rate(self, medium_scenario):
+        sweep = effectiveness_sweep(
+            medium_scenario, standard_schemes(4), [0.1, 1.0], 6, base_seed=22
+        )
+        for scheme in sweep.schemes():
+            means = sweep.mean_loss(scheme)
+            assert means[-1] <= means[0] + 0.5
+
+    def test_proposed_competitive_with_random(self, medium_scenario):
+        """The headline claim at test scale: Proposed is at least on par
+        with Random at a moderate budget (the benchmarks assert the
+        strict win at full statistics)."""
+        sweep = effectiveness_sweep(
+            medium_scenario, standard_schemes(4), [0.25], 12, base_seed=23
+        )
+        proposed = sweep.mean_loss("Proposed")[0]
+        random = sweep.mean_loss("Random")[0]
+        assert proposed <= random + 1.0
+
+    def test_genie_lower_bounds_everyone(self, medium_scenario):
+        schemes = dict(standard_schemes(4))
+        schemes["Genie"] = lambda channel: GenieAligner(channel)
+        trials = run_trials(medium_scenario, schemes, 0.3, 5, base_seed=24)
+        for trial in trials:
+            genie_loss = trial["Genie"].loss_db
+            assert genie_loss == pytest.approx(0.0, abs=1e-9)
+            for name, outcome in trial.items():
+                assert outcome.loss_db >= genie_loss - 1e-9
+
+    def test_required_rates_consistent_with_sweep(self, medium_scenario):
+        sweep = effectiveness_sweep(
+            medium_scenario, standard_schemes(4), [0.2, 0.6, 1.0], 5, base_seed=25
+        )
+        curve = required_search_rates(sweep, [1.0, 3.0, 10.0])
+        for scheme in curve.schemes():
+            rates = curve.required_rates[scheme]
+            assert all(0 < r <= 1 for r in rates)
+            assert all(b <= a + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_proposed_scales_with_j(self, medium_scenario):
+        """Any J must run cleanly end to end."""
+        rng = np.random.default_rng(0)
+        for j in (1, 2, 5, 24):
+            schemes = {"P": lambda ch, j=j: ProposedAlignment(measurements_per_slot=j)}
+            outcome = run_trial(medium_scenario, schemes, 0.2, rng)["P"]
+            assert outcome.result.measurements_used == round(0.2 * medium_scenario.total_pairs)
+
+
+class TestSinglepathIntegration:
+    def test_singlepath_has_rank_one_structure(self):
+        scenario = Scenario(
+            ScenarioConfig(
+                channel=ChannelKind.SINGLEPATH,
+                tx_shape=(2, 2),
+                rx_shape=(2, 4),
+                rx_beam_grid=(3, 6),
+            )
+        )
+        rng = np.random.default_rng(1)
+        channel = scenario.sample_channel(rng)
+        values = np.linalg.eigvalsh(channel.full_rx_covariance())
+        assert np.sum(values > 1e-9 * values.max()) == 1
+
+    def test_alignment_on_singlepath(self):
+        scenario = Scenario(
+            ScenarioConfig(
+                channel=ChannelKind.SINGLEPATH,
+                tx_shape=(2, 2),
+                rx_shape=(2, 4),
+                rx_beam_grid=(3, 6),
+                fading_blocks=8,
+            )
+        )
+        trials = run_trials(scenario, standard_schemes(4), 0.5, 6, base_seed=31)
+        proposed = np.mean([t["Proposed"].loss_db for t in trials])
+        assert proposed < 10.0

@@ -1,0 +1,71 @@
+"""Tests for the directional cell-search simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mac.cell_search import CellSearchConfig, simulate_cell_search
+
+
+class TestConfig:
+    def test_defaults(self):
+        CellSearchConfig()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CellSearchConfig(sync_period_us=0.0)
+        with pytest.raises(ConfigurationError):
+            CellSearchConfig(detection_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CellSearchConfig(max_bursts=0)
+
+
+class TestSimulation:
+    def test_detects_strong_channel(self, small_channel, tx_codebook, rx_codebook, rng):
+        config = CellSearchConfig(detection_threshold=0.01, max_bursts=2000)
+        outcome = simulate_cell_search(
+            small_channel, tx_codebook, rx_codebook, rng, config, fading_blocks=4
+        )
+        assert outcome.detected
+        assert outcome.detected_pair is not None
+        assert outcome.detected_power >= config.detection_threshold
+
+    def test_latency_is_burst_grid(self, small_channel, tx_codebook, rx_codebook, rng):
+        config = CellSearchConfig(sync_period_us=25.0, detection_threshold=0.01)
+        outcome = simulate_cell_search(
+            small_channel, tx_codebook, rx_codebook, rng, config
+        )
+        assert outcome.latency_us == pytest.approx(outcome.bursts_used * 25.0)
+
+    def test_gives_up_on_impossible_threshold(
+        self, small_channel, tx_codebook, rx_codebook, rng
+    ):
+        config = CellSearchConfig(detection_threshold=1e9, max_bursts=30)
+        outcome = simulate_cell_search(
+            small_channel, tx_codebook, rx_codebook, rng, config
+        )
+        assert not outcome.detected
+        assert outcome.bursts_used == 30
+
+    def test_rx_scan_mode(self, small_channel, tx_codebook, rx_codebook, rng):
+        config = CellSearchConfig(detection_threshold=0.01, rx_scan=True)
+        outcome = simulate_cell_search(
+            small_channel, tx_codebook, rx_codebook, rng, config
+        )
+        assert outcome.bursts_used >= 1
+
+    def test_deterministic_given_rng(self, small_channel, tx_codebook, rx_codebook):
+        outcomes = [
+            simulate_cell_search(
+                small_channel,
+                tx_codebook,
+                rx_codebook,
+                np.random.default_rng(4),
+                CellSearchConfig(detection_threshold=0.02),
+            )
+            for _ in range(2)
+        ]
+        assert outcomes[0].bursts_used == outcomes[1].bursts_used
+        assert outcomes[0].detected_pair == outcomes[1].detected_pair

@@ -1,0 +1,122 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.mac.events import EventScheduler
+
+
+class TestScheduling:
+    def test_time_advances(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_after(2.0, lambda: times.append(scheduler.now))
+        scheduler.schedule_after(1.0, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [1.0, 2.0]
+
+    def test_fifo_among_simultaneous(self):
+        scheduler = EventScheduler()
+        order = []
+        for tag in range(5):
+            scheduler.schedule_at(1.0, lambda tag=tag: order.append(tag))
+        scheduler.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_no_past_scheduling(self):
+        scheduler = EventScheduler(start_time=10.0)
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain(depth: int) -> None:
+            fired.append(scheduler.now)
+            if depth > 0:
+                scheduler.schedule_after(1.0, lambda: chain(depth - 1))
+
+        scheduler.schedule_after(0.0, lambda: chain(3))
+        scheduler.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancel_prevents_execution(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule_after(1.0, lambda: fired.append(1))
+        scheduler.cancel(handle)
+        scheduler.run()
+        assert fired == []
+
+    def test_cancel_after_run_is_noop(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule_after(1.0, lambda: fired.append(1))
+        scheduler.run()
+        scheduler.cancel(handle)
+        assert fired == [1]
+
+
+class TestRunModes:
+    def test_step(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_after(1.0, lambda: None)
+        assert scheduler.step()
+        assert not scheduler.step()
+
+    def test_run_max_events(self):
+        scheduler = EventScheduler()
+        for _ in range(5):
+            scheduler.schedule_after(1.0, lambda: None)
+        assert scheduler.run(max_events=3) == 3
+        assert scheduler.pending == 2
+
+    def test_run_until(self):
+        scheduler = EventScheduler()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            scheduler.schedule_at(t, lambda t=t: fired.append(t))
+        executed = scheduler.run_until(2.0)
+        assert executed == 2
+        assert fired == [1.0, 2.0]
+        assert scheduler.now == 2.0
+
+    def test_run_until_advances_clock_without_events(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(7.5)
+        assert scheduler.now == 7.5
+
+    def test_run_until_backwards_rejected(self):
+        scheduler = EventScheduler(start_time=5.0)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(4.0)
+
+    def test_processed_counter(self):
+        scheduler = EventScheduler()
+        for _ in range(3):
+            scheduler.schedule_after(0.5, lambda: None)
+        scheduler.run()
+        assert scheduler.processed == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+def test_property_events_execute_in_time_order(delays):
+    scheduler = EventScheduler()
+    executed = []
+    for delay in delays:
+        scheduler.schedule_after(delay, lambda d=delay: executed.append(scheduler.now))
+    scheduler.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)

@@ -1,0 +1,51 @@
+"""Tests for MAC frame timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mac.frames import FrameConfig, training_timing
+
+
+class TestFrameConfig:
+    def test_defaults_valid(self):
+        FrameConfig()
+
+    def test_positive_durations_required(self):
+        with pytest.raises(ConfigurationError):
+            FrameConfig(measurement_duration_us=0.0)
+        with pytest.raises(ConfigurationError):
+            FrameConfig(coherence_time_us=-1.0)
+
+    def test_superframe_longer_than_beacon(self):
+        with pytest.raises(ConfigurationError):
+            FrameConfig(beacon_duration_us=100.0, superframe_duration_us=50.0)
+
+
+class TestTrainingTiming:
+    def test_total_composition(self):
+        config = FrameConfig(
+            measurement_duration_us=2.0,
+            slot_overhead_us=4.0,
+            beacon_duration_us=8.0,
+            feedback_duration_us=6.0,
+        )
+        timing = training_timing(config, num_measurements=10, num_slots=3)
+        assert timing.measurement_us == 20.0
+        assert timing.slot_overhead_us == 12.0
+        assert timing.total_us == pytest.approx(8.0 + 20.0 + 12.0 + 6.0)
+
+    def test_zero_measurements(self):
+        timing = training_timing(FrameConfig(), 0, 0)
+        assert timing.measurement_us == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            training_timing(FrameConfig(), -1, 0)
+
+    def test_monotone_in_measurements(self):
+        config = FrameConfig()
+        small = training_timing(config, 10, 2).total_us
+        large = training_timing(config, 100, 13).total_us
+        assert large > small

@@ -1,0 +1,43 @@
+"""Tests for MAC messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mac.messages import (
+    Beacon,
+    BestPairFeedback,
+    MeasurementReport,
+    MessageType,
+    TrainingAnnouncement,
+)
+from repro.types import BeamPair
+
+
+class TestMessages:
+    def test_beacon(self):
+        beacon = Beacon(superframe=3, tx_beam=7)
+        assert beacon.type is MessageType.BEACON
+
+    def test_beacon_validation(self):
+        with pytest.raises(ValidationError):
+            Beacon(superframe=-1, tx_beam=0)
+
+    def test_training_announcement(self):
+        msg = TrainingAnnouncement(num_slots=4, measurements_per_slot=8)
+        assert msg.type is MessageType.TRAINING_ANNOUNCEMENT
+        with pytest.raises(ValidationError):
+            TrainingAnnouncement(num_slots=0, measurements_per_slot=8)
+
+    def test_measurement_report(self):
+        report = MeasurementReport(slot=1, pair=BeamPair(0, 2), power=0.5)
+        assert report.pair == BeamPair(0, 2)
+        with pytest.raises(ValidationError):
+            MeasurementReport(slot=0, pair=BeamPair(0, 0), power=-0.1)
+
+    def test_best_pair_feedback(self):
+        feedback = BestPairFeedback(pair=BeamPair(1, 2), power=2.0, measurements_used=30)
+        assert feedback.type is MessageType.BEST_PAIR_FEEDBACK
+        with pytest.raises(ValidationError):
+            BestPairFeedback(pair=BeamPair(0, 0), power=1.0, measurements_used=-1)

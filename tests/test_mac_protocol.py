@@ -1,0 +1,61 @@
+"""Tests for the timed beam-training protocol session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_search import RandomSearch
+from repro.core.proposed import ProposedAlignment
+from repro.mac.frames import FrameConfig
+from repro.mac.protocol import BeamTrainingSession
+from repro.measurement.measurer import MeasurementEngine
+
+
+@pytest.fixture
+def session(small_channel, tx_codebook, rx_codebook, rng):
+    engine = MeasurementEngine(small_channel, rng, fading_blocks=2)
+    return BeamTrainingSession(tx_codebook, rx_codebook, engine, FrameConfig())
+
+
+class TestSession:
+    def test_timing_accounts_for_measurements(self, session, rng):
+        result = session.run(RandomSearch(), search_rate=0.3, rng=rng)
+        config = FrameConfig()
+        used = result.alignment.measurements_used
+        assert result.timing.measurement_us == pytest.approx(
+            used * config.measurement_duration_us
+        )
+        assert result.duration_us > result.timing.measurement_us
+
+    def test_feedback_matches_alignment(self, session, rng):
+        result = session.run(RandomSearch(), search_rate=0.2, rng=rng)
+        assert result.feedback.pair == result.alignment.selected
+        assert result.feedback.measurements_used == result.alignment.measurements_used
+
+    def test_timeline_structure(self, session, rng):
+        result = session.run(ProposedAlignment(measurements_per_slot=4), 0.3, rng)
+        kinds = [entry.kind for entry in result.timeline]
+        assert kinds[0] == "beacon"
+        assert kinds[-1] == "feedback"
+        assert kinds.count("measurement") == result.alignment.measurements_used
+
+    def test_timeline_times_monotone(self, session, rng):
+        result = session.run(RandomSearch(), 0.2, rng)
+        times = [entry.time_us for entry in result.timeline]
+        assert times == sorted(times)
+
+    def test_slots_counted_for_proposed(self, session, rng):
+        result = session.run(ProposedAlignment(measurements_per_slot=4), 0.3, rng)
+        assert result.timing.num_slots == len(result.alignment.slots)
+
+    def test_more_budget_longer_training(self, small_channel, tx_codebook, rx_codebook):
+        durations = []
+        for rate in (0.1, 0.5):
+            engine = MeasurementEngine(
+                small_channel, np.random.default_rng(0), fading_blocks=2
+            )
+            session = BeamTrainingSession(tx_codebook, rx_codebook, engine)
+            result = session.run(RandomSearch(), rate, np.random.default_rng(1))
+            durations.append(result.duration_us)
+        assert durations[1] > durations[0]

@@ -1,0 +1,47 @@
+"""Tests for the end-to-end MAC simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_search import RandomSearch
+from repro.exceptions import ConfigurationError
+from repro.mac.frames import FrameConfig
+from repro.mac.simulator import MacSimulator
+
+
+class TestMacSimulator:
+    def test_interval_count(self, small_scenario, rng):
+        simulator = MacSimulator(small_scenario)
+        report = simulator.run(lambda: RandomSearch(), 0.2, num_intervals=3, rng=rng)
+        assert len(report.intervals) == 3
+
+    def test_aggregates_finite(self, small_scenario, rng):
+        simulator = MacSimulator(small_scenario)
+        report = simulator.run(lambda: RandomSearch(), 0.3, num_intervals=4, rng=rng)
+        assert np.isfinite(report.mean_net_bps_hz)
+        assert 0.0 <= report.mean_overhead <= 1.0
+
+    def test_more_training_more_overhead(self, small_scenario, rng):
+        simulator = MacSimulator(
+            small_scenario, FrameConfig(coherence_time_us=2000.0)
+        )
+        low = simulator.run(
+            lambda: RandomSearch(), 0.05, 3, np.random.default_rng(0)
+        )
+        high = simulator.run(
+            lambda: RandomSearch(), 0.9, 3, np.random.default_rng(0)
+        )
+        assert high.mean_overhead > low.mean_overhead
+
+    def test_invalid_intervals(self, small_scenario, rng):
+        simulator = MacSimulator(small_scenario)
+        with pytest.raises(ConfigurationError):
+            simulator.run(lambda: RandomSearch(), 0.2, 0, rng)
+
+    def test_interval_losses_nonnegative(self, small_scenario, rng):
+        simulator = MacSimulator(small_scenario)
+        report = simulator.run(lambda: RandomSearch(), 0.5, 3, rng)
+        for interval in report.intervals:
+            assert interval.loss_db >= -1e-9

@@ -1,0 +1,53 @@
+"""Tests for throughput/overhead accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mac.frames import FrameConfig
+from repro.mac.throughput import effective_capacity, training_overhead_fraction
+
+
+class TestOverheadFraction:
+    def test_zero_measurements_minimum_overhead(self):
+        config = FrameConfig()
+        fraction = training_overhead_fraction(config, 0, 0)
+        expected = (config.beacon_duration_us + config.feedback_duration_us) / (
+            config.coherence_time_us
+        )
+        assert fraction == pytest.approx(expected)
+
+    def test_monotone_in_measurements(self):
+        config = FrameConfig()
+        small = training_overhead_fraction(config, 10, 2)
+        large = training_overhead_fraction(config, 1000, 130)
+        assert large > small
+
+    def test_clipped_at_one(self):
+        config = FrameConfig(coherence_time_us=10.0)
+        assert training_overhead_fraction(config, 10_000, 1000) == 1.0
+
+
+class TestEffectiveCapacity:
+    def test_shannon_gross(self):
+        cap = effective_capacity(snr_linear=1.0, overhead_fraction=0.0)
+        assert cap.gross_bps_hz == pytest.approx(1.0)
+        assert cap.net_bps_hz == pytest.approx(1.0)
+
+    def test_overhead_discount(self):
+        cap = effective_capacity(snr_linear=3.0, overhead_fraction=0.25)
+        assert cap.net_bps_hz == pytest.approx(0.75 * np.log2(4.0))
+
+    def test_full_overhead_zero_net(self):
+        assert effective_capacity(100.0, 1.0).net_bps_hz == 0.0
+
+    def test_zero_snr(self):
+        assert effective_capacity(0.0, 0.0).gross_bps_hz == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            effective_capacity(-1.0, 0.0)
+        with pytest.raises(ValidationError):
+            effective_capacity(1.0, 1.5)

@@ -1,0 +1,75 @@
+"""Tests for IALM robust PCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mc.alm import rpca_ialm, soft_threshold_entries
+from repro.mc.metrics import relative_error
+from repro.utils.linalg import random_psd
+
+def _real_low_rank(rng, n1, n2, rank, scale=1.0):
+    """A real low-rank matrix (complex PSD .real would double the rank)."""
+    left = rng.normal(size=(n1, rank))
+    right = rng.normal(size=(rank, n2))
+    return scale * (left @ right) / rank
+
+
+def _real_psd(rng, n, rank, scale=1.0):
+    factors = rng.normal(size=(n, rank))
+    return scale * (factors @ factors.T) / rank
+
+
+
+class TestSoftThresholdEntries:
+    def test_real_shrinkage(self):
+        out = soft_threshold_entries(np.array([3.0, -2.0, 0.5]), 1.0)
+        np.testing.assert_allclose(out, [2.0, -1.0, 0.0])
+
+    def test_complex_preserves_phase(self):
+        x = np.array([2.0 * np.exp(1j * 0.7)])
+        out = soft_threshold_entries(x, 0.5)
+        assert np.angle(out[0]) == pytest.approx(0.7)
+        assert abs(out[0]) == pytest.approx(1.5)
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValidationError):
+            soft_threshold_entries(np.ones(3), -0.1)
+
+
+class TestRpca:
+    def test_clean_low_rank_passthrough(self, rng):
+        truth = _real_psd(rng, 20, 2, scale=20.0)
+        result = rpca_ialm(truth)
+        assert result.converged
+        assert relative_error(result.low_rank, truth) < 0.02
+
+    def test_sparse_corruption_separated(self, rng):
+        truth = _real_psd(rng, 25, 2, scale=25.0)
+        sparse = np.zeros_like(truth)
+        indices = rng.choice(25 * 25, size=20, replace=False)
+        sparse.flat[indices] = 10.0 * rng.normal(size=20)
+        result = rpca_ialm(truth + sparse)
+        assert result.converged
+        assert relative_error(result.low_rank, truth) < 0.1
+        assert relative_error(result.sparse, sparse) < 0.4
+
+    def test_decomposition_identity(self, rng):
+        observed = rng.normal(size=(15, 15))
+        result = rpca_ialm(observed, max_iterations=300)
+        np.testing.assert_allclose(
+            result.low_rank + result.sparse, observed, atol=1e-4
+        )
+
+    def test_zero_matrix(self):
+        result = rpca_ialm(np.zeros((5, 5)))
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            rpca_ialm(np.zeros(5))
+        with pytest.raises(ValidationError):
+            rpca_ialm(np.eye(3), sparsity_weight=0.0)

@@ -1,0 +1,104 @@
+"""Tests for the FISTA nuclear-norm solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mc.fista import fista_nuclear
+from repro.mc.metrics import relative_error
+from repro.mc.operators import EntryMask, QuadraticFormOperator
+from repro.utils.linalg import random_psd
+
+def _real_low_rank(rng, n1, n2, rank, scale=1.0):
+    """A real low-rank matrix (complex PSD .real would double the rank)."""
+    left = rng.normal(size=(n1, rank))
+    right = rng.normal(size=(rank, n2))
+    return scale * (left @ right) / rank
+
+
+def _real_psd(rng, n, rank, scale=1.0):
+    factors = rng.normal(size=(n, rank))
+    return scale * (factors @ factors.T) / rank
+
+
+
+class TestFistaWithMask:
+    def test_denoising_recovery(self, rng):
+        truth = _real_psd(rng, 20, 2, scale=20.0)
+        mask = EntryMask.random((20, 20), 0.7, rng)
+        result = fista_nuclear(mask, mask.observe(truth), mu=0.01, max_iterations=500)
+        assert relative_error(result.solution.real, truth) < 0.15
+
+    def test_matrix_shaped_observations_accepted(self, rng):
+        truth = _real_psd(rng, 8, 1)
+        mask = EntryMask.random((8, 8), 0.8, rng)
+        result = fista_nuclear(mask, truth, mu=0.001, max_iterations=200)
+        assert result.solution.shape == (8, 8)
+
+    def test_large_mu_shrinks_to_zero(self, rng):
+        truth = _real_psd(rng, 6, 2)
+        mask = EntryMask.random((6, 6), 0.9, rng)
+        result = fista_nuclear(mask, mask.observe(truth), mu=1e6, max_iterations=50)
+        np.testing.assert_allclose(result.solution, 0.0, atol=1e-6)
+
+    def test_objective_decreases_overall(self, rng):
+        truth = _real_psd(rng, 10, 2)
+        mask = EntryMask.random((10, 10), 0.6, rng)
+        result = fista_nuclear(mask, mask.observe(truth), mu=0.01, max_iterations=100)
+        assert result.history[-1] <= result.history[0] + 1e-9
+
+
+class TestFistaWithQuadraticForms:
+    def test_psd_constrained_recovery(self, rng):
+        """Recover a low-rank covariance from many noiseless quadratic samples."""
+        n, m = 8, 120
+        truth = random_psd(n, 2, rng, scale=4.0)
+        probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+        probes /= np.linalg.norm(probes, axis=0)
+        operator = QuadraticFormOperator(probes)
+        observations = operator.apply(truth)
+        result = fista_nuclear(
+            operator, observations, mu=1e-4, hermitian_psd=True, max_iterations=2000,
+            tolerance=1e-10,
+        )
+        assert relative_error(result.solution, truth) < 0.1
+
+    def test_psd_output(self, rng):
+        n, m = 6, 10
+        probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+        operator = QuadraticFormOperator(probes)
+        observations = np.abs(rng.normal(size=m))
+        result = fista_nuclear(operator, observations, mu=0.01, hermitian_psd=True)
+        eigenvalues = np.linalg.eigvalsh(result.solution)
+        assert np.min(eigenvalues) >= -1e-9
+
+    def test_wrong_observation_shape(self, rng):
+        operator = QuadraticFormOperator(np.ones((4, 3), dtype=complex))
+        with pytest.raises(ValidationError):
+            fista_nuclear(operator, np.ones(5), mu=0.1)
+
+    def test_initial_must_match_shape(self, rng):
+        operator = QuadraticFormOperator(np.ones((4, 3), dtype=complex))
+        with pytest.raises(ValidationError):
+            fista_nuclear(operator, np.ones(3), mu=0.1, initial=np.eye(5))
+
+    def test_negative_mu(self, rng):
+        operator = QuadraticFormOperator(np.ones((4, 3), dtype=complex))
+        with pytest.raises(ValidationError):
+            fista_nuclear(operator, np.ones(3), mu=-0.1)
+
+    def test_warm_start_used(self, rng):
+        """Warm-starting at the solution converges immediately."""
+        n, m = 6, 60
+        truth = random_psd(n, 1, rng)
+        probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+        probes /= np.linalg.norm(probes, axis=0)
+        operator = QuadraticFormOperator(probes)
+        observations = operator.apply(truth)
+        result = fista_nuclear(
+            operator, observations, mu=0.0, hermitian_psd=True, initial=truth,
+            max_iterations=5,
+        )
+        assert relative_error(result.solution, truth) < 1e-6

@@ -1,0 +1,117 @@
+"""Tests for sampling masks and quadratic-form operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.mc.operators import EntryMask, QuadraticFormOperator
+from repro.utils.linalg import random_psd
+
+
+class TestEntryMask:
+    def test_random_fraction(self, rng):
+        mask = EntryMask.random((50, 40), 0.3, rng)
+        assert 0.15 < mask.fraction_observed < 0.45
+
+    def test_random_never_empty(self, rng):
+        mask = EntryMask.random((5, 5), 1e-9, rng)
+        assert mask.num_observed >= 1
+
+    def test_symmetric_random(self, rng):
+        mask = EntryMask.symmetric_random(20, 0.4, rng)
+        np.testing.assert_array_equal(mask.mask, mask.mask.T)
+
+    def test_project_zeroes_unobserved(self, rng):
+        mask = EntryMask.random((6, 6), 0.5, rng)
+        matrix = rng.normal(size=(6, 6))
+        projected = mask.project(matrix)
+        assert np.all(projected[~mask.mask] == 0)
+        np.testing.assert_array_equal(projected[mask.mask], matrix[mask.mask])
+
+    def test_observe_roundtrip(self, rng):
+        mask = EntryMask.random((4, 7), 0.5, rng)
+        matrix = rng.normal(size=(4, 7))
+        observed = mask.observe(matrix)
+        assert observed.shape == (mask.num_observed,)
+
+    def test_shape_mismatch(self, rng):
+        mask = EntryMask.random((4, 4), 0.5, rng)
+        with pytest.raises(ValidationError):
+            mask.project(np.zeros((5, 5)))
+
+    def test_bool_required(self):
+        with pytest.raises(ValidationError):
+            EntryMask(mask=np.ones((3, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            EntryMask(mask=np.zeros((3, 3), dtype=bool))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValidationError):
+            EntryMask.random((3, 3), 0.0, rng)
+
+
+class TestQuadraticFormOperator:
+    def test_apply_matches_loop(self, rng):
+        probes = rng.normal(size=(6, 4)) + 1j * rng.normal(size=(6, 4))
+        operator = QuadraticFormOperator(probes)
+        q = random_psd(6, 3, rng)
+        expected = [
+            np.real(probes[:, j].conj() @ q @ probes[:, j]) for j in range(4)
+        ]
+        np.testing.assert_allclose(operator.apply(q), expected, atol=1e-10)
+
+    def test_adjoint_matches_loop(self, rng):
+        probes = rng.normal(size=(5, 3)) + 1j * rng.normal(size=(5, 3))
+        operator = QuadraticFormOperator(probes)
+        weights = rng.normal(size=3)
+        expected = sum(
+            w * np.outer(probes[:, j], probes[:, j].conj())
+            for j, w in enumerate(weights)
+        )
+        np.testing.assert_allclose(operator.adjoint(weights), expected, atol=1e-10)
+
+    def test_adjoint_is_true_adjoint(self, rng):
+        """<A(Q), y> == <Q, A*(y)> under the real inner products."""
+        probes = rng.normal(size=(5, 4)) + 1j * rng.normal(size=(5, 4))
+        operator = QuadraticFormOperator(probes)
+        q = random_psd(5, 3, rng)
+        y = rng.normal(size=4)
+        lhs = float(operator.apply(q) @ y)
+        rhs = float(np.real(np.vdot(operator.adjoint(y), q)))
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_lipschitz_bound(self, rng):
+        probes = rng.normal(size=(4, 6)) + 1j * rng.normal(size=(4, 6))
+        operator = QuadraticFormOperator(probes)
+        bound = operator.lipschitz_bound()
+        norms4 = np.sum(np.linalg.norm(probes, axis=0) ** 4)
+        assert bound == pytest.approx(norms4)
+
+    def test_dimensions(self, rng):
+        operator = QuadraticFormOperator(np.ones((7, 2), dtype=complex))
+        assert operator.dimension == 7
+        assert operator.num_measurements == 2
+
+    def test_shape_validation(self, rng):
+        operator = QuadraticFormOperator(np.ones((4, 2), dtype=complex))
+        with pytest.raises(ValidationError):
+            operator.apply(np.eye(5))
+        with pytest.raises(ValidationError):
+            operator.adjoint(np.ones(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 8), m=st.integers(1, 6))
+def test_property_quadratic_operator_psd_nonneg(seed, n, m):
+    """A(Q) >= 0 entrywise for PSD Q."""
+    rng = np.random.default_rng(seed)
+    probes = rng.normal(size=(n, m)) + 1j * rng.normal(size=(n, m))
+    operator = QuadraticFormOperator(probes)
+    q = random_psd(n, max(1, n // 2), rng)
+    assert np.all(operator.apply(q) >= -1e-9)

@@ -1,0 +1,97 @@
+"""Tests for OptSpace-style matrix completion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mc.metrics import relative_error
+from repro.mc.operators import EntryMask
+from repro.mc.optspace import optspace_complete, spectral_initialization, trim_mask
+from repro.utils.linalg import random_psd
+
+def _real_low_rank(rng, n1, n2, rank, scale=1.0):
+    """A real low-rank matrix (complex PSD .real would double the rank)."""
+    left = rng.normal(size=(n1, rank))
+    right = rng.normal(size=(rank, n2))
+    return scale * (left @ right) / rank
+
+
+def _real_psd(rng, n, rank, scale=1.0):
+    factors = rng.normal(size=(n, rank))
+    return scale * (factors @ factors.T) / rank
+
+
+
+class TestTrimMask:
+    def test_keeps_shape(self, rng):
+        mask = EntryMask.random((20, 20), 0.5, rng)
+        trimmed = trim_mask(mask, rng)
+        assert trimmed.shape == mask.shape
+
+    def test_never_adds_entries(self, rng):
+        mask = EntryMask.random((15, 15), 0.5, rng)
+        trimmed = trim_mask(mask, rng)
+        assert np.all(~trimmed.mask | mask.mask)
+
+    def test_invalid_factor(self, rng):
+        mask = EntryMask.random((5, 5), 0.5, rng)
+        with pytest.raises(ValidationError):
+            trim_mask(mask, rng, factor=0.0)
+
+
+class TestSpectralInit:
+    def test_rank_bound(self, rng):
+        truth = _real_psd(rng, 15, 4)
+        mask = EntryMask.random((15, 15), 0.6, rng)
+        init = spectral_initialization(truth, mask, rank=2)
+        s = np.linalg.svd(init, compute_uv=False)
+        assert np.sum(s > 1e-9 * s[0]) <= 2
+
+    def test_full_observation_recovers(self, rng):
+        truth = _real_psd(rng, 10, 2)
+        mask = EntryMask(mask=np.ones((10, 10), dtype=bool))
+        init = spectral_initialization(truth, mask, rank=2)
+        assert relative_error(init, truth) < 1e-9
+
+    def test_invalid_rank(self, rng):
+        mask = EntryMask.random((5, 5), 0.5, rng)
+        with pytest.raises(ValidationError):
+            spectral_initialization(np.zeros((5, 5)), mask, rank=0)
+
+
+class TestOptSpace:
+    def test_recovers_real_low_rank(self, rng):
+        truth = _real_psd(rng, 25, 3, scale=25.0)
+        mask = EntryMask.random((25, 25), 0.5, rng)
+        result = optspace_complete(mask.project(truth), mask, rank=3, rng=rng)
+        assert relative_error(result.solution, truth) < 0.05
+
+    def test_recovers_complex_hermitian(self, rng):
+        truth = random_psd(20, 2, rng, scale=20.0)
+        mask = EntryMask.symmetric_random(20, 0.6, rng)
+        result = optspace_complete(mask.project(truth), mask, rank=2, rng=rng)
+        assert relative_error(result.solution, truth) < 0.05
+
+    def test_rectangular(self, rng):
+        left = rng.normal(size=(18, 2))
+        right = rng.normal(size=(2, 12))
+        truth = left @ right
+        mask = EntryMask.random((18, 12), 0.7, rng)
+        result = optspace_complete(mask.project(truth), mask, rank=2, rng=rng)
+        assert relative_error(result.solution, truth) < 0.05
+
+    def test_monotone_observed_residual(self, rng):
+        truth = _real_psd(rng, 15, 3)
+        mask = EntryMask.random((15, 15), 0.5, rng)
+        result = optspace_complete(
+            mask.project(truth), mask, rank=3, rng=rng, max_iterations=20
+        )
+        history = result.history
+        assert all(b <= a + 1e-6 for a, b in zip(history, history[1:]))
+
+    def test_shape_mismatch(self, rng):
+        mask = EntryMask.random((5, 5), 0.5, rng)
+        with pytest.raises(ValidationError):
+            optspace_complete(np.zeros((6, 6)), mask, rank=1, rng=rng)

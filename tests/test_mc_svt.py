@@ -1,0 +1,83 @@
+"""Tests for singular value thresholding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.mc.metrics import relative_error
+from repro.mc.operators import EntryMask
+from repro.mc.svt import shrink_singular_values, svt_complete
+from repro.utils.linalg import random_psd
+
+def _real_low_rank(rng, n1, n2, rank, scale=1.0):
+    """A real low-rank matrix (complex PSD .real would double the rank)."""
+    left = rng.normal(size=(n1, rank))
+    right = rng.normal(size=(rank, n2))
+    return scale * (left @ right) / rank
+
+
+def _real_psd(rng, n, rank, scale=1.0):
+    factors = rng.normal(size=(n, rank))
+    return scale * (factors @ factors.T) / rank
+
+
+
+class TestShrink:
+    def test_reduces_singular_values(self, rng):
+        m = rng.normal(size=(6, 4))
+        out = shrink_singular_values(m, 0.5)
+        s_in = np.linalg.svd(m, compute_uv=False)
+        s_out = np.linalg.svd(out, compute_uv=False)
+        np.testing.assert_allclose(s_out, np.clip(s_in - 0.5, 0, None), atol=1e-10)
+
+    def test_zero_threshold_identity(self, rng):
+        m = rng.normal(size=(5, 5))
+        np.testing.assert_allclose(shrink_singular_values(m, 0.0), m, atol=1e-10)
+
+    def test_annihilates_small_matrix(self, rng):
+        m = 0.1 * rng.normal(size=(4, 4))
+        out = shrink_singular_values(m, 100.0)
+        np.testing.assert_array_equal(out, np.zeros((4, 4)))
+
+    def test_negative_threshold(self):
+        with pytest.raises(ValidationError):
+            shrink_singular_values(np.eye(3), -1.0)
+
+
+class TestSvtComplete:
+    def test_recovers_low_rank(self, rng):
+        truth = _real_psd(rng, 30, 2, scale=30.0)
+        mask = EntryMask.random((30, 30), 0.6, rng)
+        result = svt_complete(mask.project(truth), mask, max_iterations=800)
+        assert relative_error(result.solution, truth) < 0.05
+
+    def test_zero_observation(self, rng):
+        mask = EntryMask.random((5, 5), 0.5, rng)
+        result = svt_complete(np.zeros((5, 5)), mask)
+        assert result.converged
+        np.testing.assert_array_equal(result.solution, np.zeros((5, 5)))
+
+    def test_residual_history_recorded(self, rng):
+        truth = _real_psd(rng, 12, 2, scale=12.0)
+        mask = EntryMask.random((12, 12), 0.7, rng)
+        result = svt_complete(mask.project(truth), mask, max_iterations=50)
+        assert len(result.history) == result.iterations
+
+    def test_invalid_params(self, rng):
+        mask = EntryMask.random((4, 4), 0.5, rng)
+        with pytest.raises(ValidationError):
+            svt_complete(np.zeros((4, 4)), mask, tau=-1.0)
+        with pytest.raises(ValidationError):
+            svt_complete(np.zeros((4, 4)), mask, max_iterations=0)
+
+    def test_raise_if_failed(self, rng):
+        truth = _real_psd(rng, 20, 3, scale=20.0)
+        mask = EntryMask.random((20, 20), 0.5, rng)
+        result = svt_complete(mask.project(truth), mask, max_iterations=1)
+        assert not result.converged
+        from repro.exceptions import ConvergenceError
+
+        with pytest.raises(ConvergenceError):
+            result.raise_if_failed("svt")

@@ -1,0 +1,86 @@
+"""Tests for measurement-budget accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BudgetExhaustedError, ValidationError
+from repro.measurement.budget import MeasurementBudget, measurements_for_search_rate
+
+
+class TestMeasurementsForSearchRate:
+    def test_rounding(self):
+        assert measurements_for_search_rate(1000, 0.1) == 100
+        assert measurements_for_search_rate(1000, 0.1234) == 123
+
+    def test_minimum_one(self):
+        assert measurements_for_search_rate(1000, 0.0001) == 1
+
+    def test_full_rate(self):
+        assert measurements_for_search_rate(64, 1.0) == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            measurements_for_search_rate(0, 0.1)
+        with pytest.raises(ValidationError):
+            measurements_for_search_rate(10, 0.0)
+        with pytest.raises(ValidationError):
+            measurements_for_search_rate(10, 1.5)
+
+
+class TestMeasurementBudget:
+    def test_charge_and_remaining(self):
+        budget = MeasurementBudget(total_pairs=100, limit=10)
+        budget.charge(4)
+        assert budget.spent == 4
+        assert budget.remaining == 6
+        assert not budget.exhausted
+
+    def test_exhaustion(self):
+        budget = MeasurementBudget(total_pairs=100, limit=3)
+        budget.charge(3)
+        assert budget.exhausted
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge(1)
+
+    def test_overrun_refused_atomically(self):
+        budget = MeasurementBudget(total_pairs=100, limit=5)
+        budget.charge(4)
+        with pytest.raises(BudgetExhaustedError):
+            budget.charge(2)
+        assert budget.spent == 4  # unchanged
+
+    def test_search_rates(self):
+        budget = MeasurementBudget(total_pairs=200, limit=50)
+        assert budget.search_rate == pytest.approx(0.25)
+        budget.charge(10)
+        assert budget.spent_rate == pytest.approx(0.05)
+
+    def test_from_search_rate(self):
+        budget = MeasurementBudget.from_search_rate(1024, 0.1)
+        assert budget.limit == 102
+        assert budget.total_pairs == 1024
+
+    def test_zero_charge(self):
+        budget = MeasurementBudget(total_pairs=10, limit=5)
+        budget.charge(0)
+        assert budget.spent == 0
+
+    def test_negative_charge(self):
+        budget = MeasurementBudget(total_pairs=10, limit=5)
+        with pytest.raises(ValidationError):
+            budget.charge(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_pairs": 0, "limit": 1},
+            {"total_pairs": 10, "limit": 0},
+            {"total_pairs": 10, "limit": 11},
+            {"total_pairs": 10, "limit": 5, "spent": 6},
+            {"total_pairs": 10, "limit": 5, "spent": -1},
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValidationError):
+            MeasurementBudget(**kwargs)

@@ -1,0 +1,84 @@
+"""Tests for the measurement engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.measurement.measurer import Measurement, MeasurementEngine
+from repro.types import BeamPair
+
+
+class TestMeasurement:
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValidationError):
+            Measurement(power=-1.0, z=0j)
+
+    def test_fields(self):
+        m = Measurement(power=1.0, z=1 + 0j, pair=BeamPair(0, 1), slot=2)
+        assert m.pair == BeamPair(0, 1)
+        assert m.slot == 2
+
+
+class TestMeasurementEngine:
+    def test_counter(self, engine, tx_codebook, rx_codebook):
+        engine.measure_pair(tx_codebook, rx_codebook, BeamPair(0, 0))
+        engine.measure_pair(tx_codebook, rx_codebook, BeamPair(1, 2))
+        assert engine.num_measurements == 2
+
+    def test_noise_variance(self, engine):
+        assert engine.noise_variance == pytest.approx(0.01)  # gamma = 100
+
+    def test_rejects_non_unit_beams(self, engine):
+        with pytest.raises(ValidationError):
+            engine.measure_vectors(np.ones(4, dtype=complex), np.ones(8, dtype=complex))
+
+    def test_invalid_fading_blocks(self, small_channel, rng):
+        with pytest.raises(ValidationError):
+            MeasurementEngine(small_channel, rng, fading_blocks=0)
+
+    def test_power_statistic_unbiased(self, small_channel, rng, tx_codebook, rx_codebook):
+        """E[w] == lambda == v^H (Q_u + I/gamma) v (Eq. 14)."""
+        engine = MeasurementEngine(small_channel, rng, fading_blocks=1)
+        pair = BeamPair(0, 3)
+        expected = engine.expected_power(tx_codebook.beam(0), rx_codebook.beam(3))
+        powers = [
+            engine.measure_pair(tx_codebook, rx_codebook, pair).power
+            for _ in range(6000)
+        ]
+        assert np.mean(powers) == pytest.approx(expected, rel=0.06)
+
+    def test_fading_blocks_reduce_variance(self, small_channel, tx_codebook, rx_codebook):
+        pair = BeamPair(0, 0)
+        single = MeasurementEngine(small_channel, np.random.default_rng(0), fading_blocks=1)
+        many = MeasurementEngine(small_channel, np.random.default_rng(1), fading_blocks=16)
+        var_single = np.var(
+            [single.measure_pair(tx_codebook, rx_codebook, pair).power for _ in range(2000)]
+        )
+        var_many = np.var(
+            [many.measure_pair(tx_codebook, rx_codebook, pair).power for _ in range(2000)]
+        )
+        assert var_many < var_single / 4
+
+    def test_mean_invariant_to_fading_blocks(self, small_channel, tx_codebook, rx_codebook):
+        """Averaging blocks must not bias the statistic."""
+        pair = BeamPair(1, 4)
+        one = MeasurementEngine(small_channel, np.random.default_rng(2), fading_blocks=1)
+        eight = MeasurementEngine(small_channel, np.random.default_rng(3), fading_blocks=8)
+        mean_one = np.mean(
+            [one.measure_pair(tx_codebook, rx_codebook, pair).power for _ in range(4000)]
+        )
+        mean_eight = np.mean(
+            [eight.measure_pair(tx_codebook, rx_codebook, pair).power for _ in range(1000)]
+        )
+        assert mean_eight == pytest.approx(mean_one, rel=0.1)
+
+    def test_measure_pair_tags_identity(self, engine, tx_codebook, rx_codebook):
+        m = engine.measure_pair(tx_codebook, rx_codebook, BeamPair(2, 7), slot=3)
+        assert m.pair == BeamPair(2, 7)
+        assert m.slot == 3
+
+    def test_expected_power_includes_noise(self, engine, tx_codebook, rx_codebook):
+        value = engine.expected_power(tx_codebook.beam(0), rx_codebook.beam(0))
+        assert value >= engine.noise_variance

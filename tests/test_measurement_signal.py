@@ -1,0 +1,81 @@
+"""Tests for the pilot/matched-filter signal model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.measurement.signal import (
+    PilotSignal,
+    matched_filter,
+    measurement_statistic,
+    simulate_measurement,
+)
+
+
+class TestPilotSignal:
+    def test_waveform_energy(self):
+        pilot = PilotSignal(energy=2.5, symbols=10)
+        waveform = pilot.waveform()
+        assert np.sum(np.abs(waveform) ** 2) == pytest.approx(2.5)
+        assert len(waveform) == 10
+
+    def test_invalid_energy(self):
+        with pytest.raises(ValidationError):
+            PilotSignal(energy=0.0)
+
+    def test_invalid_symbols(self):
+        with pytest.raises(ValidationError):
+            PilotSignal(symbols=0)
+
+
+class TestMatchedFilter:
+    def test_recovers_gain_noiseless(self):
+        """Eq. 9: matched filter on g*s returns exactly g."""
+        pilot = PilotSignal(energy=3.0, symbols=8).waveform()
+        gain = 0.7 - 0.2j
+        assert matched_filter(gain * pilot, pilot) == pytest.approx(gain)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            matched_filter(np.ones(4), np.ones(5))
+
+    def test_zero_energy_pilot(self):
+        with pytest.raises(ValidationError):
+            matched_filter(np.ones(4), np.zeros(4))
+
+    def test_statistic(self):
+        assert measurement_statistic(3 + 4j) == pytest.approx(25.0)
+
+
+class TestSimulateMeasurement:
+    def test_noiseless_exact(self, rng):
+        pilot = PilotSignal(energy=1.0, symbols=4)
+        z = simulate_measurement(0.3 + 0.1j, pilot, noise_power=0.0, rng=rng)
+        assert z == pytest.approx(0.3 + 0.1j)
+
+    def test_noise_variance_scaling(self, rng):
+        """Residual noise variance after matched filtering is N0 / Es —
+        the normalization that makes Eq. (14)'s 1/gamma term correct."""
+        pilot = PilotSignal(energy=4.0, symbols=16)
+        n0 = 0.8
+        samples = np.array(
+            [simulate_measurement(0.0, pilot, n0, rng) for _ in range(4000)]
+        )
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(n0 / 4.0, rel=0.08)
+
+    def test_agrees_with_shortcut_model(self, rng):
+        """Waveform-level simulation matches g + CN(0, N0/Es) stats."""
+        pilot = PilotSignal(energy=2.0, symbols=8)
+        gain = 0.5 + 0.5j
+        n0 = 0.4
+        samples = np.array(
+            [simulate_measurement(gain, pilot, n0, rng) for _ in range(4000)]
+        )
+        assert np.mean(samples) == pytest.approx(gain, abs=0.02)
+        assert np.var(samples) == pytest.approx(n0 / 2.0, rel=0.08)
+
+    def test_negative_noise_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            simulate_measurement(0.0, PilotSignal(), -1.0, rng)

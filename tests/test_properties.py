@@ -1,0 +1,143 @@
+"""Cross-module property-based tests.
+
+Hypothesis-driven invariants that span subsystem boundaries: channel
+statistics vs codebook evaluation, measurement accounting vs algorithm
+behaviour, and estimator outputs vs the PSD geometry they must respect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.codebook import Codebook
+from repro.arrays.upa import UniformPlanarArray
+from repro.baselines.random_search import RandomSearch
+from repro.baselines.scan_search import ScanSearch
+from repro.channel.base import ClusteredChannel, Subpath
+from repro.core.base import AlignmentContext
+from repro.core.proposed import ProposedAlignment
+from repro.estimation.ml_covariance import estimate_ml_covariance
+from repro.measurement.budget import MeasurementBudget
+from repro.measurement.measurer import MeasurementEngine
+from repro.utils.geometry import Direction
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_channel(seed: int, num_paths: int) -> ClusteredChannel:
+    rng = np.random.default_rng(seed)
+    tx = UniformPlanarArray(2, 2)
+    rx = UniformPlanarArray(2, 4)
+    subpaths = [
+        Subpath(
+            power=float(rng.uniform(0.1, 1.0)),
+            tx_direction=Direction(float(rng.uniform(-1.2, 1.2)), float(rng.uniform(-0.5, 0.5))),
+            rx_direction=Direction(float(rng.uniform(-1.2, 1.2)), float(rng.uniform(-0.5, 0.5))),
+        )
+        for _ in range(num_paths)
+    ]
+    return ClusteredChannel(tx, rx, subpaths, snr=100.0)
+
+
+@SLOW
+@given(seed=st.integers(0, 2**31 - 1), num_paths=st.integers(1, 5))
+def test_property_snr_matrix_consistency(seed, num_paths):
+    """The vectorized mean-SNR matrix equals per-pair evaluation, and the
+    covariance route agrees with the direct route."""
+    channel = _random_channel(seed, num_paths)
+    tx_cb = Codebook.for_array(channel.tx_array)
+    rx_cb = Codebook.grid(channel.rx_array, n_azimuth=4, n_elevation=2)
+    matrix = channel.mean_snr_matrix(tx_cb, rx_cb)
+    rng = np.random.default_rng(seed)
+    i = int(rng.integers(tx_cb.num_beams))
+    j = int(rng.integers(rx_cb.num_beams))
+    u, v = tx_cb.beam(i), rx_cb.beam(j)
+    assert matrix[i, j] == pytest.approx(channel.mean_snr(u, v), rel=1e-9)
+    q_u = channel.rx_covariance(u)
+    via_covariance = channel.snr * float(np.real(v.conj() @ q_u @ v))
+    assert matrix[i, j] == pytest.approx(via_covariance, rel=1e-9)
+
+
+@SLOW
+@given(seed=st.integers(0, 2**31 - 1), num_paths=st.integers(1, 4))
+def test_property_rx_covariance_rank_and_psd(seed, num_paths):
+    """Q_u is PSD with rank bounded by the number of subpaths."""
+    channel = _random_channel(seed, num_paths)
+    rng = np.random.default_rng(seed + 1)
+    u = rng.normal(size=4) + 1j * rng.normal(size=4)
+    u /= np.linalg.norm(u)
+    q = channel.rx_covariance(u)
+    values = np.linalg.eigvalsh(q)
+    assert values.min() >= -1e-10
+    significant = int(np.sum(values > 1e-10 * max(values.max(), 1e-30)))
+    assert significant <= num_paths
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    limit=st.integers(1, 72),
+    scheme_index=st.integers(0, 2),
+)
+def test_property_every_scheme_respects_budget_and_dedup(seed, limit, scheme_index):
+    """For any budget: exact spend (or all pairs), no repeats, valid result."""
+    channel = _random_channel(seed, 2)
+    tx_cb = Codebook.for_array(channel.tx_array)
+    rx_cb = Codebook.grid(channel.rx_array, n_azimuth=6, n_elevation=3)
+    total = tx_cb.num_beams * rx_cb.num_beams
+    limit = min(limit, total)
+    engine = MeasurementEngine(channel, np.random.default_rng(seed + 2), fading_blocks=2)
+    context = AlignmentContext(
+        tx_cb, rx_cb, engine, MeasurementBudget(total_pairs=total, limit=limit)
+    )
+    scheme = [RandomSearch(), ScanSearch(), ProposedAlignment(measurements_per_slot=4)][
+        scheme_index
+    ]
+    result = scheme.align(context, np.random.default_rng(seed + 3))
+    assert result.measurements_used == limit
+    pairs = [m.pair for m in result.trace if m.pair is not None]
+    assert len(pairs) == len(set(pairs))
+    assert 0 <= result.selected.tx_index < tx_cb.num_beams
+    assert 0 <= result.selected.rx_index < rx_cb.num_beams
+    # The reported pair is the strongest measured one.
+    best_power = max(m.power for m in result.trace)
+    assert result.selected_power == pytest.approx(best_power)
+
+
+@SLOW
+@given(seed=st.integers(0, 2**31 - 1), m=st.integers(2, 10))
+def test_property_ml_estimate_always_psd(seed, m):
+    """The penalized-ML estimate is Hermitian PSD for arbitrary inputs."""
+    rng = np.random.default_rng(seed)
+    probes = rng.normal(size=(8, m)) + 1j * rng.normal(size=(8, m))
+    probes /= np.linalg.norm(probes, axis=0)
+    powers = np.abs(rng.normal(size=m)) * rng.uniform(0.001, 1.0)
+    result = estimate_ml_covariance(probes, powers, noise_variance=0.01, max_iterations=15)
+    q = result.solution
+    np.testing.assert_allclose(q, q.conj().T, atol=1e-10)
+    assert np.linalg.eigvalsh(q).min() >= -1e-9
+
+
+@SLOW
+@given(seed=st.integers(0, 2**31 - 1))
+def test_property_measurement_power_positive_and_finite(seed):
+    """Any measurement yields a finite non-negative power statistic."""
+    channel = _random_channel(seed, 3)
+    tx_cb = Codebook.for_array(channel.tx_array)
+    rx_cb = Codebook.grid(channel.rx_array, n_azimuth=4, n_elevation=2)
+    engine = MeasurementEngine(channel, np.random.default_rng(seed), fading_blocks=3)
+    from repro.types import BeamPair
+
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(5):
+        pair = BeamPair(int(rng.integers(tx_cb.num_beams)), int(rng.integers(rx_cb.num_beams)))
+        measurement = engine.measure_pair(tx_cb, rx_cb, pair)
+        assert np.isfinite(measurement.power)
+        assert measurement.power >= 0.0

@@ -1,0 +1,44 @@
+"""Tests for statistics aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sim.aggregate import summarize
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.count == 4
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.sem == 0.0
+
+    def test_ci_halfwidth(self):
+        stats = summarize([1.0, 3.0])
+        assert stats.ci95_halfwidth == pytest.approx(1.96 * stats.sem)
+
+    def test_infinities_clipped_to_finite_max(self):
+        stats = summarize([1.0, 2.0, np.inf])
+        assert stats.mean == pytest.approx((1.0 + 2.0 + 2.0) / 3)
+
+    def test_all_infinite_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize([np.inf, np.inf])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize([1.0, np.nan])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize([])

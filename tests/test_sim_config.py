@@ -1,0 +1,74 @@
+"""Tests for scenario configuration and assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.config import ChannelKind, ScenarioConfig
+from repro.sim.scenario import Scenario
+
+
+class TestScenarioConfig:
+    def test_paper_defaults(self):
+        config = ScenarioConfig()
+        assert config.tx_shape == (4, 4)
+        assert config.rx_shape == (8, 8)
+        assert config.effective_tx_beam_grid == (4, 4)
+        assert config.effective_rx_beam_grid == (12, 12)
+        assert config.total_pairs == 16 * 144
+
+    def test_snr_conversion(self):
+        assert ScenarioConfig(snr_db=20.0).snr_linear == pytest.approx(100.0)
+        assert ScenarioConfig(snr_db=0.0).snr_linear == pytest.approx(1.0)
+
+    def test_beam_grid_override(self):
+        config = ScenarioConfig(tx_beam_grid=(2, 3), rx_beam_grid=(4, 5))
+        assert config.total_pairs == 6 * 20
+
+    def test_with_channel(self):
+        config = ScenarioConfig(channel=ChannelKind.SINGLEPATH, snr_db=15.0)
+        other = config.with_channel(ChannelKind.MULTIPATH)
+        assert other.channel is ChannelKind.MULTIPATH
+        assert other.snr_db == 15.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tx_shape": (0, 4)},
+            {"rx_shape": (4,)},
+            {"spacing": 0.0},
+            {"fading_blocks": 0},
+            {"tx_beam_grid": (0, 4)},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(**kwargs)
+
+
+class TestScenario:
+    def test_assembly(self, small_config):
+        scenario = Scenario(small_config)
+        assert scenario.tx_codebook.num_beams == 4
+        assert scenario.rx_codebook.num_beams == 9
+        assert scenario.total_pairs == 36
+        assert scenario.tx_array.num_elements == 4
+        assert scenario.rx_array.num_elements == 8
+
+    def test_sample_channel_kind(self, rng):
+        single = Scenario(
+            ScenarioConfig(
+                channel=ChannelKind.SINGLEPATH, tx_shape=(2, 2), rx_shape=(2, 2),
+                rx_beam_grid=(2, 2),
+            )
+        )
+        channel = single.sample_channel(rng)
+        assert channel.num_subpaths == 1
+
+    def test_sample_channel_snr(self, small_scenario, rng):
+        channel = small_scenario.sample_channel(rng)
+        assert channel.snr == pytest.approx(100.0)
+
+    def test_repr(self, small_scenario):
+        assert "Scenario" in repr(small_scenario)

@@ -1,0 +1,62 @@
+"""Tests for evaluation metrics (Eq. 31-32)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sim.metrics import evaluate_pair, loss_from_matrix_db, snr_loss_db
+from repro.types import BeamPair
+
+
+class TestLossFromMatrix:
+    def test_optimal_pair_zero_loss(self):
+        matrix = np.array([[1.0, 2.0], [4.0, 3.0]])
+        assert loss_from_matrix_db(matrix, BeamPair(1, 0)) == 0.0
+
+    def test_half_power_three_db(self):
+        matrix = np.array([[2.0, 1.0]])
+        assert loss_from_matrix_db(matrix, BeamPair(0, 1)) == pytest.approx(3.0103, abs=1e-3)
+
+    def test_zero_power_infinite_loss(self):
+        matrix = np.array([[1.0, 0.0]])
+        assert loss_from_matrix_db(matrix, BeamPair(0, 1)) == np.inf
+
+    def test_nonnegative(self, rng):
+        matrix = np.abs(rng.normal(size=(4, 6))) + 0.01
+        for _ in range(10):
+            pair = BeamPair(int(rng.integers(4)), int(rng.integers(6)))
+            assert loss_from_matrix_db(matrix, pair) >= 0.0
+
+    def test_all_zero_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            loss_from_matrix_db(np.zeros((2, 2)), BeamPair(0, 0))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            loss_from_matrix_db(np.ones(4), BeamPair(0, 0))
+
+
+class TestEvaluatePair:
+    def test_fields(self):
+        matrix = np.array([[1.0, 4.0], [2.0, 3.0]])
+        evaluation = evaluate_pair(matrix, BeamPair(1, 1))
+        assert evaluation.mean_snr == 3.0
+        assert evaluation.optimal_snr == 4.0
+        assert evaluation.loss_db == pytest.approx(10 * np.log10(4 / 3))
+
+
+class TestSnrLossDb:
+    def test_consistent_with_matrix(self, small_channel, tx_codebook, rx_codebook):
+        matrix = small_channel.mean_snr_matrix(tx_codebook, rx_codebook)
+        pair = BeamPair(1, 4)
+        assert snr_loss_db(small_channel, tx_codebook, rx_codebook, pair) == pytest.approx(
+            loss_from_matrix_db(matrix, pair)
+        )
+
+    def test_genie_pair_zero(self, small_channel, tx_codebook, rx_codebook):
+        tx_i, rx_i, _ = small_channel.optimal_pair(tx_codebook, rx_codebook)
+        assert snr_loss_db(
+            small_channel, tx_codebook, rx_codebook, BeamPair(tx_i, rx_i)
+        ) == pytest.approx(0.0)

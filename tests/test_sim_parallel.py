@@ -1,0 +1,97 @@
+"""Tests for the process-parallel trial runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.parallel import (
+    SCHEME_BUILDERS,
+    ParallelOutcome,
+    SchemeSpec,
+    run_trials_parallel,
+)
+from repro.sim.runner import run_trials
+
+
+class TestSchemeSpec:
+    def test_of_known(self):
+        spec = SchemeSpec.of("Proposed", measurements_per_slot=4)
+        assert spec.name == "Proposed"
+        assert dict(spec.params) == {"measurements_per_slot": 4}
+
+    def test_of_unknown(self):
+        with pytest.raises(ConfigurationError):
+            SchemeSpec.of("NotAScheme")
+
+    def test_factory_builds_scheme(self, small_channel):
+        spec = SchemeSpec.of("Random")
+        algorithm = spec.build_factory()(small_channel)
+        assert algorithm.name == "Random"
+
+    def test_genie_gets_channel(self, small_channel):
+        spec = SchemeSpec.of("Genie")
+        algorithm = spec.build_factory()(small_channel)
+        assert algorithm.name == "Genie"
+
+    def test_registry_covers_all_names(self):
+        for name in ("Random", "Scan", "Proposed", "Bidirectional", "UCB"):
+            assert name in SCHEME_BUILDERS
+
+    def test_params_hashable(self):
+        assert hash(SchemeSpec.of("Proposed", mu=0.1)) is not None
+
+
+class TestRunTrialsParallel:
+    SPECS = (
+        SchemeSpec.of("Random"),
+        SchemeSpec.of("Proposed", measurements_per_slot=4),
+    )
+
+    def test_inprocess_path(self, small_config):
+        trials = run_trials_parallel(
+            small_config, self.SPECS, 0.3, 3, base_seed=5, max_workers=1
+        )
+        assert len(trials) == 3
+        for trial in trials:
+            assert set(trial) == {"Random", "Proposed"}
+            for outcome in trial.values():
+                assert isinstance(outcome, ParallelOutcome)
+                assert outcome.loss_db >= 0.0
+
+    def test_matches_serial_runner(self, small_config, small_scenario):
+        """Same seeds -> identical selections as the serial runner."""
+        parallel = run_trials_parallel(
+            small_config, self.SPECS, 0.3, 2, base_seed=9, max_workers=1
+        )
+        schemes = {spec.name: spec.build_factory() for spec in self.SPECS}
+        serial = run_trials(small_scenario, schemes, 0.3, 2, base_seed=9)
+        for par_trial, ser_trial in zip(parallel, serial):
+            for name in schemes:
+                assert par_trial[name].selected == ser_trial[name].result.selected
+                assert par_trial[name].loss_db == pytest.approx(ser_trial[name].loss_db)
+
+    def test_multiprocess_matches_inprocess(self, small_config):
+        solo = run_trials_parallel(
+            small_config, self.SPECS, 0.3, 2, base_seed=11, max_workers=1
+        )
+        pooled = run_trials_parallel(
+            small_config, self.SPECS, 0.3, 2, base_seed=11, max_workers=2
+        )
+        for a, b in zip(solo, pooled):
+            for name in ("Random", "Proposed"):
+                assert a[name].selected == b[name].selected
+                assert a[name].loss_db == pytest.approx(b[name].loss_db)
+
+    def test_validation(self, small_config):
+        with pytest.raises(ConfigurationError):
+            run_trials_parallel(small_config, self.SPECS, 0.3, 0)
+        with pytest.raises(ConfigurationError):
+            run_trials_parallel(small_config, (), 0.3, 1)
+        with pytest.raises(ConfigurationError):
+            run_trials_parallel(
+                small_config,
+                (SchemeSpec.of("Random"), SchemeSpec.of("Random")),
+                0.3,
+                1,
+            )

@@ -1,0 +1,72 @@
+"""Tests for sweep persistence."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.sim.persistence import (
+    load_cost_curve,
+    load_effectiveness_sweep,
+    save_cost_curve,
+    save_effectiveness_sweep,
+)
+from repro.sim.sweep import CostEfficiencyCurve, EffectivenessSweep
+from repro.utils.serialization import dump
+
+
+@pytest.fixture
+def sweep() -> EffectivenessSweep:
+    return EffectivenessSweep(
+        search_rates=[0.1, 0.3],
+        losses={
+            "Random": [[3.0, 4.0, 5.0], [1.0, 1.5, 2.0]],
+            "Proposed": [[2.0, 2.5, 3.0], [0.5, 0.6, 0.7]],
+        },
+    )
+
+
+class TestSweepRoundTrip:
+    def test_roundtrip_preserves_content(self, sweep, tmp_path: Path):
+        target = tmp_path / "sweep.json"
+        save_effectiveness_sweep(sweep, target)
+        loaded = load_effectiveness_sweep(target)
+        assert loaded.search_rates == sweep.search_rates
+        assert loaded.losses == sweep.losses
+
+    def test_stats_recomputed_on_load(self, sweep, tmp_path: Path):
+        target = tmp_path / "sweep.json"
+        save_effectiveness_sweep(sweep, target)
+        loaded = load_effectiveness_sweep(target)
+        np.testing.assert_allclose(
+            loaded.mean_loss("Proposed"), sweep.mean_loss("Proposed")
+        )
+
+    def test_rejects_foreign_json(self, tmp_path: Path):
+        target = tmp_path / "other.json"
+        dump({"something": "else"}, target)
+        with pytest.raises(ValidationError):
+            load_effectiveness_sweep(target)
+
+
+class TestCurveRoundTrip:
+    def test_roundtrip(self, tmp_path: Path):
+        curve = CostEfficiencyCurve(
+            target_losses_db=[1.0, 3.0],
+            required_rates={"Random": [0.5, 0.2], "Proposed": [0.3, 0.1]},
+        )
+        target = tmp_path / "curve.json"
+        save_cost_curve(curve, target)
+        loaded = load_cost_curve(target)
+        assert loaded.target_losses_db == curve.target_losses_db
+        assert loaded.required_rates == curve.required_rates
+
+    def test_rejects_sweep_file(self, tmp_path: Path):
+        sweep = EffectivenessSweep(search_rates=[0.1], losses={"X": [[1.0]]})
+        target = tmp_path / "sweep.json"
+        save_effectiveness_sweep(sweep, target)
+        with pytest.raises(ValidationError):
+            load_cost_curve(target)

@@ -1,0 +1,70 @@
+"""Tests for the trial runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.runner import run_trial, run_trials, standard_schemes
+
+
+class TestStandardSchemes:
+    def test_names(self):
+        schemes = standard_schemes()
+        assert set(schemes) == {"Random", "Scan", "Proposed"}
+
+    def test_factories_build_fresh_instances(self, small_channel):
+        schemes = standard_schemes()
+        a = schemes["Proposed"](small_channel)
+        b = schemes["Proposed"](small_channel)
+        assert a is not b
+
+
+class TestRunTrial:
+    def test_all_schemes_evaluated(self, small_scenario, rng):
+        outcomes = run_trial(small_scenario, standard_schemes(), 0.3, rng)
+        assert set(outcomes) == {"Random", "Scan", "Proposed"}
+        for outcome in outcomes.values():
+            assert outcome.loss_db >= 0.0
+            assert outcome.result.measurements_used == 11  # 0.3 * 36 rounded
+
+    def test_same_optimum_across_schemes(self, small_scenario, rng):
+        """All schemes in a trial face the same channel realization."""
+        outcomes = run_trial(small_scenario, standard_schemes(), 0.3, rng)
+        optima = {o.evaluation.optimal_snr for o in outcomes.values()}
+        assert len(optima) == 1
+
+    def test_empty_schemes_rejected(self, small_scenario, rng):
+        with pytest.raises(ConfigurationError):
+            run_trial(small_scenario, {}, 0.3, rng)
+
+
+class TestRunTrials:
+    def test_trial_count(self, small_scenario):
+        trials = run_trials(small_scenario, standard_schemes(), 0.3, 3, base_seed=1)
+        assert len(trials) == 3
+
+    def test_reproducible(self, small_scenario):
+        a = run_trials(small_scenario, standard_schemes(), 0.3, 2, base_seed=9)
+        b = run_trials(small_scenario, standard_schemes(), 0.3, 2, base_seed=9)
+        for trial_a, trial_b in zip(a, b):
+            for name in trial_a:
+                assert trial_a[name].result.selected == trial_b[name].result.selected
+                assert trial_a[name].loss_db == trial_b[name].loss_db
+
+    def test_trials_prefix_stable(self, small_scenario):
+        """Trial k is identical whether 2 or 4 trials are run."""
+        short = run_trials(small_scenario, standard_schemes(), 0.3, 2, base_seed=9)
+        long = run_trials(small_scenario, standard_schemes(), 0.3, 4, base_seed=9)
+        for name in short[0]:
+            assert short[1][name].result.selected == long[1][name].result.selected
+
+    def test_channels_vary_across_trials(self, small_scenario):
+        trials = run_trials(small_scenario, standard_schemes(), 0.3, 3, base_seed=2)
+        optima = [trial["Random"].evaluation.optimal_snr for trial in trials]
+        assert len(set(optima)) == 3
+
+    def test_invalid_trial_count(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            run_trials(small_scenario, standard_schemes(), 0.3, 0)

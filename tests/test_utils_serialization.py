@@ -1,0 +1,70 @@
+"""Tests for repro.utils.serialization."""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.types import BeamPair
+from repro.utils.serialization import dump, dumps, load, loads, to_jsonable
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+
+
+class TestToJsonable:
+    def test_scalars(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(7)) == 7
+        assert to_jsonable(np.bool_(True)) is True
+        assert to_jsonable(None) is None
+
+    def test_real_array(self):
+        assert to_jsonable(np.arange(3.0)) == [0.0, 1.0, 2.0]
+
+    def test_complex_array(self):
+        out = to_jsonable(np.array([1 + 2j]))
+        assert out == {"real": [1.0], "imag": [2.0]}
+
+    def test_complex_scalar(self):
+        assert to_jsonable(3 + 4j) == {"real": 3.0, "imag": 4.0}
+
+    def test_dataclass(self):
+        out = to_jsonable(_Sample(name="x", values=np.zeros(2)))
+        assert out == {"name": "x", "values": [0.0, 0.0]}
+
+    def test_nested_dataclass(self):
+        out = to_jsonable({"pair": BeamPair(1, 2)})
+        assert out == {"pair": {"tx_index": 1, "rx_index": 2}}
+
+    def test_sets_and_tuples(self):
+        assert sorted(to_jsonable({1, 2})) == [1, 2]
+        assert to_jsonable((1, "a")) == [1, "a"]
+
+    def test_path(self, tmp_path):
+        assert to_jsonable(tmp_path) == str(tmp_path)
+
+    def test_unserializable(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        value = {"a": [1, 2.5], "b": "text", "c": None}
+        assert loads(dumps(value)) == value
+
+    def test_file_roundtrip(self, tmp_path: Path):
+        target = tmp_path / "out.json"
+        dump({"x": np.float64(2.0)}, target)
+        assert load(target) == {"x": 2.0}
+
+    def test_sorted_keys(self):
+        text = dumps({"b": 1, "a": 2})
+        assert text.index('"a"') < text.index('"b"')
