@@ -19,7 +19,7 @@ from repro.experiments import (
 
 def test_estimator_ablation(benchmark, bench_trials, bench_seed):
     result = run_once(
-        benchmark, run_estimator_ablation, num_trials=bench_trials, base_seed=bench_seed
+        benchmark, run_estimator_ablation, bench_label="abl-estimator", num_trials=bench_trials, base_seed=bench_seed
     )
     print()
     print(result.table)
@@ -31,7 +31,7 @@ def test_estimator_ablation(benchmark, bench_trials, bench_seed):
 
 def test_j_ablation(benchmark, bench_trials, bench_seed):
     result = run_once(
-        benchmark, run_j_ablation, num_trials=bench_trials, base_seed=bench_seed
+        benchmark, run_j_ablation, bench_label="abl-j", num_trials=bench_trials, base_seed=bench_seed
     )
     print()
     print(result.table)
@@ -42,7 +42,7 @@ def test_j_ablation(benchmark, bench_trials, bench_seed):
 
 def test_mu_ablation(benchmark, bench_trials, bench_seed):
     result = run_once(
-        benchmark, run_mu_ablation, num_trials=bench_trials, base_seed=bench_seed
+        benchmark, run_mu_ablation, bench_label="abl-mu", num_trials=bench_trials, base_seed=bench_seed
     )
     print()
     print(result.table)
@@ -52,7 +52,7 @@ def test_mu_ablation(benchmark, bench_trials, bench_seed):
 
 def test_floor_ablation(benchmark, bench_trials, bench_seed):
     result = run_once(
-        benchmark, run_floor_ablation, num_trials=bench_trials, base_seed=bench_seed
+        benchmark, run_floor_ablation, bench_label="abl-floor", num_trials=bench_trials, base_seed=bench_seed
     )
     print()
     print(result.table)

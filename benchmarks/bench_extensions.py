@@ -16,7 +16,7 @@ from repro.experiments import run_scheme_comparison, run_tracking
 
 def test_scheme_zoo(benchmark, bench_trials, bench_seed):
     result = run_once(
-        benchmark, run_scheme_comparison, num_trials=bench_trials, base_seed=bench_seed
+        benchmark, run_scheme_comparison, bench_label="ext-schemes", num_trials=bench_trials, base_seed=bench_seed
     )
     print()
     print(result.table)
@@ -34,7 +34,7 @@ def test_interference_robustness(benchmark, bench_trials, bench_seed):
     from repro.experiments import run_interference
 
     result = run_once(
-        benchmark, run_interference, num_trials=bench_trials, base_seed=bench_seed
+        benchmark, run_interference, bench_label="ext-interference", num_trials=bench_trials, base_seed=bench_seed
     )
     print()
     print(result.table)
@@ -49,6 +49,7 @@ def test_tracking_warm_start(benchmark, bench_seed):
     result = run_once(
         benchmark,
         run_tracking,
+        bench_label="ext-tracking",
         num_intervals=8,
         num_runs=6,
         drift_deg_values=(2.0,),

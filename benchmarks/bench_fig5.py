@@ -20,6 +20,7 @@ def test_fig5_singlepath_effectiveness(benchmark, bench_trials, bench_seed):
     result = run_once(
         benchmark,
         run_fig5,
+        bench_label="fig5",
         num_trials=bench_trials,
         base_seed=bench_seed,
         search_rates=BENCH_RATES,

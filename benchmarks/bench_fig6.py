@@ -14,6 +14,7 @@ def test_fig6_multipath_effectiveness(benchmark, bench_trials, bench_seed):
     result = run_once(
         benchmark,
         run_fig6,
+        bench_label="fig6",
         num_trials=bench_trials,
         base_seed=bench_seed,
         search_rates=BENCH_RATES,

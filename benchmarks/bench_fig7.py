@@ -20,6 +20,7 @@ def test_fig7_singlepath_cost(benchmark, bench_trials, bench_seed):
     result = run_once(
         benchmark,
         run_fig7,
+        bench_label="fig7",
         num_trials=bench_trials,
         base_seed=bench_seed,
         search_rates=BENCH_RATES,

@@ -15,6 +15,7 @@ def test_fig8_multipath_cost(benchmark, bench_trials, bench_seed):
     result = run_once(
         benchmark,
         run_fig8,
+        bench_label="fig8",
         num_trials=bench_trials,
         base_seed=bench_seed,
         search_rates=BENCH_RATES,

@@ -13,7 +13,7 @@ from repro.experiments import run_lowrank
 
 
 def test_lowrank_energy_concentration(benchmark, bench_seed):
-    result = run_once(benchmark, run_lowrank, num_channels=200, base_seed=bench_seed)
+    result = run_once(benchmark, run_lowrank, bench_label="lowrank", num_channels=200, base_seed=bench_seed)
     print()
     print(result.table)
 

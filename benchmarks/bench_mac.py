@@ -15,7 +15,7 @@ from repro.experiments import run_cell_search, run_mac_overhead
 
 
 def test_mac_overhead_tradeoff(benchmark, bench_seed):
-    result = run_once(benchmark, run_mac_overhead, num_intervals=8, base_seed=bench_seed)
+    result = run_once(benchmark, run_mac_overhead, bench_label="mac-overhead", num_intervals=8, base_seed=bench_seed)
     print()
     print(result.table)
 
@@ -31,7 +31,7 @@ def test_mac_overhead_tradeoff(benchmark, bench_seed):
 
 
 def test_cell_search_latency(benchmark, bench_seed):
-    result = run_once(benchmark, run_cell_search, num_trials=60, base_seed=bench_seed)
+    result = run_once(benchmark, run_cell_search, bench_label="cell-search", num_trials=60, base_seed=bench_seed)
     print()
     print(result.table)
     strategies = result.data["strategies"]

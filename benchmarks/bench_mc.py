@@ -15,6 +15,7 @@ def test_mc_recovery_vs_sampling(benchmark, bench_seed):
     result = run_once(
         benchmark,
         run_mc_recovery,
+        bench_label="mc-recovery",
         dimension=40,
         rank=3,
         fractions=(0.2, 0.3, 0.5, 0.7),

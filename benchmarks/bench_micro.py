@@ -11,6 +11,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.conftest import timed_call
+
 from repro.arrays.codebook import Codebook
 from repro.arrays.upa import UniformPlanarArray
 from repro.channel.multipath import sample_nyc_channel
@@ -36,7 +38,7 @@ def test_measurement_throughput(benchmark, paper_setup):
     engine = MeasurementEngine(channel, np.random.default_rng(1), fading_blocks=8)
     pair = BeamPair(3, 40)
 
-    benchmark(lambda: engine.measure_pair(tx_codebook, rx_codebook, pair))
+    benchmark(timed_call("micro-measurement", lambda: engine.measure_pair(tx_codebook, rx_codebook, pair)))
 
 
 def test_ml_estimation_latency(benchmark, paper_setup):
@@ -46,7 +48,7 @@ def test_ml_estimation_latency(benchmark, paper_setup):
     probes = rx_codebook.vectors[:, rng.choice(rx_codebook.num_beams, 7, replace=False)]
     powers = np.abs(rng.normal(size=7)) * 0.1 + 0.01
 
-    benchmark(lambda: estimate_ml_covariance(probes, powers, 0.01))
+    benchmark(timed_call("micro-ml-estimation", lambda: estimate_ml_covariance(probes, powers, 0.01)))
 
 
 def test_codebook_gain_evaluation(benchmark, paper_setup):
@@ -54,14 +56,14 @@ def test_codebook_gain_evaluation(benchmark, paper_setup):
     _, rx_codebook, _ = paper_setup
     q = random_psd(64, 3, np.random.default_rng(3))
 
-    benchmark(lambda: rx_codebook.gains(q))
+    benchmark(timed_call("micro-codebook-gains", lambda: rx_codebook.gains(q)))
 
 
 def test_mean_snr_matrix(benchmark, paper_setup):
     """Exact 16x144 mean-SNR matrix (the ground-truth oracle per trial)."""
     tx_codebook, rx_codebook, channel = paper_setup
 
-    benchmark(lambda: channel.mean_snr_matrix(tx_codebook, rx_codebook))
+    benchmark(timed_call("micro-mean-snr", lambda: channel.mean_snr_matrix(tx_codebook, rx_codebook)))
 
 
 def test_channel_sampling(benchmark, paper_setup):
@@ -69,4 +71,4 @@ def test_channel_sampling(benchmark, paper_setup):
     _, _, channel = paper_setup
     rng = np.random.default_rng(4)
 
-    benchmark(lambda: channel.sample(rng))
+    benchmark(timed_call("micro-channel-sample", lambda: channel.sample(rng)))

@@ -64,6 +64,14 @@ from repro.estimation import (
     MlCovarianceEstimator,
 )
 from repro.measurement import MeasurementBudget, MeasurementEngine
+from repro.obs import (
+    MetricsRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    TraceRecorder,
+    get_recorder,
+    use_recorder,
+)
 from repro.sim import (
     ChannelKind,
     Scenario,
@@ -108,6 +116,12 @@ __all__ = [
     "MlCovarianceEstimator",
     "MeasurementBudget",
     "MeasurementEngine",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "NullRecorder",
+    "TraceRecorder",
+    "get_recorder",
+    "use_recorder",
     "ChannelKind",
     "Scenario",
     "ScenarioConfig",

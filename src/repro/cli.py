@@ -6,21 +6,35 @@
     repro run fig6                  # regenerate a figure's series
     repro run fig6 --quick          # small/fast variant
     repro run fig6 --trials 50 --seed 7 --json out.json
+    repro run fig6 --trace out.jsonl --progress  # JSONL trace + ETA lines
+    repro trace summarize out.jsonl             # timing/convergence tables
     repro align --channel multipath --rate 0.1  # one alignment, verbose
     repro report results/ --out REPORT.md       # fold saved JSONs into markdown
 
-Also reachable as ``python -m repro.cli``.
+Also reachable as ``python -m repro.cli``. ``--log-level debug`` surfaces
+the package's loggers on stderr; tracing and progress are opt-in and do
+not perturb seeded results.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 import numpy as np
 
 from repro import experiments
+from repro.obs import (
+    MetricsRecorder,
+    TraceRecorder,
+    configure_logging,
+    get_logger,
+    print_progress,
+    use_recorder,
+)
 from repro.sim.config import ChannelKind, ScenarioConfig
 from repro.sim.runner import run_trial, standard_schemes
 from repro.sim.scenario import Scenario
@@ -28,6 +42,8 @@ from repro.utils.serialization import dump
 from repro.version import __version__
 
 __all__ = ["main", "build_parser"]
+
+logger = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="enable package logging on stderr at this level",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     list_cmd = commands.add_parser("list", help="list registered experiments")
@@ -51,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--trials", type=int, default=None, help="override trial count")
     run_cmd.add_argument("--seed", type=int, default=None, help="override base seed")
     run_cmd.add_argument("--json", default=None, help="also write result data as JSON")
+    run_cmd.add_argument(
+        "--trace", default=None, help="write a structured JSONL trace to this path"
+    )
+    run_cmd.add_argument(
+        "--progress",
+        action="store_true",
+        help="print throttled progress/ETA lines to stderr (sweep experiments)",
+    )
     run_cmd.set_defaults(handler=_handle_run)
 
     report_cmd = commands.add_parser(
@@ -69,7 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
     align_cmd.add_argument("--rate", type=float, default=0.1, help="search rate (0, 1]")
     align_cmd.add_argument("--snr-db", type=float, default=20.0)
     align_cmd.add_argument("--seed", type=int, default=0)
+    align_cmd.add_argument(
+        "--trace", default=None, help="write a structured JSONL trace to this path"
+    )
     align_cmd.set_defaults(handler=_handle_align)
+
+    trace_cmd = commands.add_parser("trace", help="inspect structured JSONL traces")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    summarize_cmd = trace_sub.add_parser(
+        "summarize", help="render timing and convergence tables from a trace"
+    )
+    summarize_cmd.add_argument("trace_file", help="JSONL trace written by --trace")
+    summarize_cmd.set_defaults(handler=_handle_trace_summarize)
 
     return parser
 
@@ -81,6 +122,17 @@ def _handle_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _accepts_kwarg(func, name: str) -> bool:
+    """True if ``func`` can take ``name`` as a keyword argument."""
+    try:
+        parameters = inspect.signature(func).parameters
+    except (TypeError, ValueError):
+        return False
+    if name in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
+
+
 def _handle_run(args: argparse.Namespace) -> int:
     overrides = {}
     if args.quick:
@@ -89,8 +141,28 @@ def _handle_run(args: argparse.Namespace) -> int:
         overrides["num_trials"] = args.trials
     if args.seed is not None:
         overrides["base_seed"] = args.seed
-    result = experiments.run(args.experiment, **overrides)
+    runner = experiments.get(args.experiment).runner
+    if args.progress:
+        if _accepts_kwarg(runner, "progress"):
+            overrides["progress"] = print_progress
+        else:
+            print(
+                f"note: experiment {args.experiment!r} does not report progress",
+                file=sys.stderr,
+            )
+    with ExitStack() as stack:
+        if args.trace:
+            try:
+                recorder = stack.enter_context(TraceRecorder(args.trace))
+            except OSError as error:
+                print(f"error: cannot write trace {args.trace}: {error}", file=sys.stderr)
+                return 2
+            stack.enter_context(use_recorder(recorder))
+            logger.info("tracing %s to %s", args.experiment, args.trace)
+        result = experiments.run(args.experiment, **overrides)
     print(result.table)
+    if args.trace:
+        print(f"\nwrote trace {args.trace} (inspect with `repro trace summarize`)")
     if args.json:
         dump({"id": result.experiment_id, "title": result.title, "data": result.data}, args.json)
         print(f"\nwrote {args.json}")
@@ -116,12 +188,22 @@ def _handle_align(args: argparse.Namespace) -> int:
         ScenarioConfig(channel=ChannelKind(args.channel), snr_db=args.snr_db)
     )
     print(scenario)
-    outcomes = run_trial(
-        scenario,
-        standard_schemes(),
-        search_rate=args.rate,
-        rng=np.random.default_rng(args.seed),
-    )
+    with ExitStack() as stack:
+        if args.trace:
+            try:
+                recorder = stack.enter_context(TraceRecorder(args.trace))
+            except OSError as error:
+                print(f"error: cannot write trace {args.trace}: {error}", file=sys.stderr)
+                return 2
+        else:
+            recorder = MetricsRecorder()
+        stack.enter_context(use_recorder(recorder))
+        outcomes = run_trial(
+            scenario,
+            standard_schemes(),
+            search_rate=args.rate,
+            rng=np.random.default_rng(args.seed),
+        )
     print(f"{'scheme':10s} {'pair':>12s} {'loss dB':>8s} {'measured':>9s}")
     for name, outcome in outcomes.items():
         pair = outcome.result.selected
@@ -129,6 +211,36 @@ def _handle_align(args: argparse.Namespace) -> int:
             f"{name:10s} ({pair.tx_index:3d},{pair.rx_index:4d})"
             f" {outcome.loss_db:8.2f} {outcome.result.measurements_used:9d}"
         )
+    _print_solver_diagnostics(recorder)
+    if args.trace:
+        print(f"\nwrote trace {args.trace} (inspect with `repro trace summarize`)")
+    return 0
+
+
+def _print_solver_diagnostics(recorder: MetricsRecorder) -> None:
+    """Convergence digest of the penalized-ML solves behind `Proposed`."""
+    metrics = recorder.metrics
+    solves = int(metrics.counter("estimator.ml.solves"))
+    if not solves:
+        return
+    iterations = int(metrics.counter("estimator.ml.iterations"))
+    converged = int(metrics.counter("estimator.ml.converged"))
+    print(
+        f"\nml-covariance solver: {solves} solves,"
+        f" {iterations} iterations ({iterations / solves:.1f}/solve),"
+        f" converged {converged}/{solves} ({100 * converged / solves:.0f}%)"
+    )
+
+
+def _handle_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import render_trace_summary, summarize_trace_file
+
+    try:
+        summary = summarize_trace_file(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_trace_summary(summary, title=f"Trace summary — {args.trace_file}"))
     return 0
 
 
@@ -136,7 +248,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    if args.log_level:
+        configure_logging(args.log_level)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like a
+        # well-behaved unix filter.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -143,11 +143,15 @@ class ProposedAlignment(BeamAlignmentAlgorithm):
 
             decided_beam: Optional[int] = None
             estimate = previous_estimate
+            estimator_converged: Optional[bool] = None
             if probe_beams:
                 probes = rx_codebook.vectors[:, probe_beams]
                 estimate = estimator.estimate(
                     probes, np.asarray(powers), context.noise_variance
                 )
+                last_result = getattr(estimator, "last_result", None)
+                if last_result is not None:
+                    estimator_converged = bool(last_result.converged)
             if size > len(probe_beams):
                 exclude = measured_rx | set(probe_beams)
                 decided_beam = self._decide_beam(
@@ -162,6 +166,7 @@ class ProposedAlignment(BeamAlignmentAlgorithm):
                     tx_beam=tx_index,
                     probe_rx_beams=tuple(probe_beams),
                     decided_rx_beam=decided_beam,
+                    estimator_converged=estimator_converged,
                 )
             )
 

@@ -33,7 +33,7 @@ Algorithm 1 needs from the estimate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -42,6 +42,7 @@ from repro.estimation.base import CovarianceEstimator
 from repro.estimation.likelihood import nll_value_and_gradient
 from repro.mc.operators import QuadraticFormOperator
 from repro.mc.result import SolverResult
+from repro.obs import get_recorder
 from repro.utils.linalg import hermitian, project_psd, soft_threshold_eigenvalues
 from repro.utils.validation import check_nonnegative, check_positive
 
@@ -132,37 +133,51 @@ def estimate_ml_covariance(
         if candidate.shape[1] < dimension:
             basis = candidate
 
-    if basis is not None:
-        reduced_probes = basis.conj().T @ probes
-        reduced_initial = (
-            basis.conj().T @ initial @ basis if initial is not None else None
+    recorder = get_recorder()
+    with recorder.span(
+        "solver.ml_covariance",
+        dimension=dimension,
+        measurements=probes.shape[1],
+        reduced_dimension=basis.shape[1] if basis is not None else dimension,
+        warm_start=initial is not None,
+    ) as span:
+        if basis is not None:
+            reduced_probes = basis.conj().T @ probes
+            reduced_initial = (
+                basis.conj().T @ initial @ basis if initial is not None else None
+            )
+            result = _solve(
+                reduced_probes,
+                powers,
+                offsets,
+                mu,
+                max_iterations,
+                tolerance,
+                reduced_initial,
+                initial_step,
+                backtrack,
+                min_step,
+            )
+            result.solution = hermitian(basis @ result.solution @ basis.conj().T)
+        else:
+            result = _solve(
+                probes,
+                powers,
+                offsets,
+                mu,
+                max_iterations,
+                tolerance,
+                initial,
+                initial_step,
+                backtrack,
+                min_step,
+            )
+        span.annotate(
+            iterations=result.iterations,
+            converged=result.converged,
+            objective=result.objective,
         )
-        result = _solve(
-            reduced_probes,
-            powers,
-            offsets,
-            mu,
-            max_iterations,
-            tolerance,
-            reduced_initial,
-            initial_step,
-            backtrack,
-            min_step,
-        )
-        result.solution = hermitian(basis @ result.solution @ basis.conj().T)
-        return result
-    return _solve(
-        probes,
-        powers,
-        offsets,
-        mu,
-        max_iterations,
-        tolerance,
-        initial,
-        initial_step,
-        backtrack,
-        min_step,
-    )
+    return result
 
 
 def _solve(
@@ -195,6 +210,7 @@ def _solve(
     step = initial_step
     converged = False
     iteration = 0
+    recorder = get_recorder()
     for iteration in range(1, max_iterations + 1):
         accepted = False
         while step >= min_step:
@@ -218,6 +234,14 @@ def _solve(
         )
         current, value, gradient = candidate, candidate_value, candidate_gradient
         history.append(penalized(current, value))
+        if recorder.enabled:
+            recorder.event(
+                "solver.ml_covariance.iteration",
+                iteration=iteration,
+                objective=history[-1],
+                step=step,
+                change=change,
+            )
         # Allow the step to grow back so one conservative iteration does
         # not permanently slow the solve.
         step = min(step / backtrack, initial_step)
@@ -240,6 +264,13 @@ class MlCovarianceEstimator(CovarianceEstimator):
     ``warm_start`` (settable between calls) carries the previous TX-slot's
     estimate into the next solve, matching the integrated design of
     Sec. IV-C.
+
+    Solver diagnostics that used to be computed then dropped are kept on
+    the instance: ``last_result`` is the full :class:`SolverResult` of the
+    most recent :meth:`estimate` call (iterations, convergence flag,
+    penalized-NLL trajectory), and ``num_solves`` / ``total_iterations`` /
+    ``num_converged`` accumulate across calls for run-level reporting
+    (``repro align`` prints them).
     """
 
     mu: float = 0.05
@@ -248,6 +279,12 @@ class MlCovarianceEstimator(CovarianceEstimator):
     subspace: bool = True
     warm_rank: int = 8
     warm_start: Optional[np.ndarray] = None
+    last_result: Optional[SolverResult] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    num_solves: int = field(default=0, init=False, repr=False, compare=False)
+    total_iterations: int = field(default=0, init=False, repr=False, compare=False)
+    num_converged: int = field(default=0, init=False, repr=False, compare=False)
 
     def estimate(
         self,
@@ -268,6 +305,15 @@ class MlCovarianceEstimator(CovarianceEstimator):
             warm_rank=self.warm_rank,
         )
         self.warm_start = result.solution
+        self.last_result = result
+        self.num_solves += 1
+        self.total_iterations += result.iterations
+        self.num_converged += int(result.converged)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.increment("estimator.ml.solves")
+            recorder.increment("estimator.ml.iterations", result.iterations)
+            recorder.increment("estimator.ml.converged", int(result.converged))
         return result.solution
 
     def reset(self) -> None:

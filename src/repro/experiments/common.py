@@ -12,6 +12,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.registry import ExperimentResult
 from repro.experiments.render import render_cost_efficiency, render_effectiveness
+from repro.obs import ProgressCallback
 from repro.sim.config import ChannelKind, ScenarioConfig
 from repro.sim.runner import standard_schemes
 from repro.sim.scenario import Scenario
@@ -56,11 +57,12 @@ def _sweep(
     base_seed: int,
     snr_db: float,
     measurements_per_slot: int,
+    progress: Optional[ProgressCallback] = None,
 ) -> EffectivenessSweep:
     scenario = build_scenario(channel, snr_db=snr_db)
     schemes = standard_schemes(measurements_per_slot=measurements_per_slot)
     return effectiveness_sweep(
-        scenario, schemes, search_rates, num_trials, base_seed=base_seed
+        scenario, schemes, search_rates, num_trials, base_seed=base_seed, progress=progress
     )
 
 
@@ -74,13 +76,16 @@ def run_effectiveness_experiment(
     snr_db: float = 20.0,
     measurements_per_slot: int = 8,
     quick: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> ExperimentResult:
     """Figures 5/6: SNR loss vs search rate for Random/Scan/Proposed."""
     if quick:
         num_trials = min(num_trials, 4)
         search_rates = search_rates or (0.10, 0.20)
     rates = list(search_rates or DEFAULT_SEARCH_RATES)
-    sweep = _sweep(channel, rates, num_trials, base_seed, snr_db, measurements_per_slot)
+    sweep = _sweep(
+        channel, rates, num_trials, base_seed, snr_db, measurements_per_slot, progress
+    )
     data: Dict[str, object] = {
         "search_rates": rates,
         "num_trials": num_trials,
@@ -112,6 +117,7 @@ def run_cost_experiment(
     snr_db: float = 20.0,
     measurements_per_slot: int = 8,
     quick: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> ExperimentResult:
     """Figures 7/8: required search rate vs target SNR loss."""
     if quick:
@@ -120,7 +126,9 @@ def run_cost_experiment(
         target_losses_db = target_losses_db or (2.0, 4.0, 6.0)
     rates = list(search_rates or DEFAULT_SEARCH_RATES)
     targets = list(target_losses_db or DEFAULT_TARGET_LOSSES_DB)
-    sweep = _sweep(channel, rates, num_trials, base_seed, snr_db, measurements_per_slot)
+    sweep = _sweep(
+        channel, rates, num_trials, base_seed, snr_db, measurements_per_slot, progress
+    )
     curve = required_search_rates(sweep, targets)
     data: Dict[str, object] = {
         "target_losses_db": targets,

@@ -13,27 +13,34 @@ subspace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.mc.result import SolverResult
 from repro.mc.svt import shrink_singular_values
+from repro.obs import get_recorder
 
 __all__ = ["RpcaResult", "soft_threshold_entries", "rpca_ialm"]
 
 
 @dataclass
 class RpcaResult:
-    """Low-rank / sparse decomposition produced by :func:`rpca_ialm`."""
+    """Low-rank / sparse decomposition produced by :func:`rpca_ialm`.
+
+    ``residual_history`` holds the relative Frobenius residual after each
+    iteration — the solver's convergence trajectory, always collected
+    (one float per iteration) so diagnostics never require a re-run.
+    """
 
     low_rank: np.ndarray
     sparse: np.ndarray
     iterations: int
     converged: bool
     residual: float
+    residual_history: List[float] = field(default_factory=list)
 
 
 def soft_threshold_entries(matrix: np.ndarray, threshold: float) -> np.ndarray:
@@ -78,25 +85,38 @@ def rpca_ialm(
     mu = 1.25 / two_norm
     mu_max = mu * 1e7
 
+    recorder = get_recorder()
     low_rank = np.zeros_like(observed)
     sparse = np.zeros_like(observed)
     residual = 1.0
     converged = False
     iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        low_rank = shrink_singular_values(observed - sparse + dual / mu, 1.0 / mu)
-        sparse = soft_threshold_entries(observed - low_rank + dual / mu, lam / mu)
-        gap = observed - low_rank - sparse
-        dual = dual + mu * gap
-        mu = min(mu * rho, mu_max)
-        residual = float(np.linalg.norm(gap) / norm_d)
-        if residual < tolerance:
-            converged = True
-            break
+    residual_history: List[float] = []
+    with recorder.span("solver.rpca_ialm", rows=n1, cols=n2) as span:
+        for iteration in range(1, max_iterations + 1):
+            low_rank = shrink_singular_values(observed - sparse + dual / mu, 1.0 / mu)
+            sparse = soft_threshold_entries(observed - low_rank + dual / mu, lam / mu)
+            gap = observed - low_rank - sparse
+            dual = dual + mu * gap
+            mu = min(mu * rho, mu_max)
+            residual = float(np.linalg.norm(gap) / norm_d)
+            residual_history.append(residual)
+            if recorder.enabled:
+                recorder.event(
+                    "solver.rpca_ialm.iteration",
+                    iteration=iteration,
+                    residual=residual,
+                    mu=mu,
+                )
+            if residual < tolerance:
+                converged = True
+                break
+        span.annotate(iterations=iteration, converged=converged, residual=residual)
     return RpcaResult(
         low_rank=low_rank,
         sparse=sparse,
         iterations=iteration,
         converged=converged,
         residual=residual,
+        residual_history=residual_history,
     )

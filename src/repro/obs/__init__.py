@@ -1,0 +1,67 @@
+"""Observability layer: structured tracing, metrics, progress, logging.
+
+Instrumented code (solvers, trial runners, sweeps) talks to the *active*
+recorder — :class:`NullRecorder` by default, so observation is strictly
+opt-in and provably non-perturbing: no recorder touches RNG state, and
+with the default recorder every seeded outcome is bit-identical to the
+uninstrumented code.
+
+Typical use::
+
+    from repro.obs import TraceRecorder, use_recorder
+
+    with TraceRecorder("run.jsonl") as recorder, use_recorder(recorder):
+        run_trials(scenario, schemes, 0.1, 100)
+    # then: repro trace summarize run.jsonl
+
+See ``docs/observability.md`` for the event schema and recipes.
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry, percentile, timer_stats
+from repro.obs.progress import (
+    ProgressCallback,
+    ProgressEvent,
+    ProgressReporter,
+    print_progress,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    Span,
+    get_recorder,
+    use_recorder,
+)
+from repro.obs.summary import (
+    render_trace_summary,
+    summarize_trace,
+    summarize_trace_file,
+)
+from repro.obs.trace import TRACE_SCHEMA, TraceRecorder, read_trace
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "MetricsRecorder",
+    "TraceRecorder",
+    "Span",
+    "NULL_RECORDER",
+    "get_recorder",
+    "use_recorder",
+    "MetricsRegistry",
+    "timer_stats",
+    "percentile",
+    "ProgressEvent",
+    "ProgressCallback",
+    "ProgressReporter",
+    "print_progress",
+    "read_trace",
+    "TRACE_SCHEMA",
+    "summarize_trace",
+    "summarize_trace_file",
+    "render_trace_summary",
+    "configure_logging",
+    "get_logger",
+]

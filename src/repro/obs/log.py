@@ -1,0 +1,53 @@
+"""Logging conventions for the ``repro`` package.
+
+All package loggers hang off the ``"repro"`` root so one call to
+:func:`configure_logging` (wired to ``repro --log-level``) controls the
+whole tree. Libraries embedding ``repro`` can ignore this module and
+configure the ``"repro"`` logger with standard :mod:`logging` machinery
+instead — nothing here installs handlers at import time.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+__all__ = ["get_logger", "configure_logging", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s  %(message)s"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: Union[str, int] = "warning", stream=None) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger at ``level``.
+
+    Idempotent: reconfiguring replaces the previously installed handler
+    rather than stacking duplicates.
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = numeric
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,99 @@
+"""Throttled progress reporting with ETA estimates.
+
+Long sweeps call :meth:`ProgressReporter.update` once per completed unit;
+the reporter invokes the user callback at most once per
+``min_interval_s`` (always on completion), so progress printing never
+dominates the work being measured. With no callback the reporter is a
+cheap counter. Reporters never touch RNG state — attaching progress to a
+sweep cannot change its outcomes.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["ProgressEvent", "ProgressCallback", "ProgressReporter", "print_progress"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A snapshot of sweep progress delivered to callbacks."""
+
+    label: str
+    done: int
+    total: int
+    elapsed_s: float
+    eta_s: Optional[float]  # None until at least one unit completes
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+class ProgressReporter:
+    """Counts completed units and throttles callback delivery.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        callback: Optional[ProgressCallback] = None,
+        label: str = "",
+        min_interval_s: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = max(0, int(total))
+        self.label = label
+        self.done = 0
+        self._callback = callback
+        self._min_interval_s = min_interval_s
+        self._clock = clock
+        self._start = clock()
+        self._last_fire: Optional[float] = None
+
+    def update(self, advance: int = 1) -> None:
+        """Mark ``advance`` more units complete; maybe fire the callback."""
+        self.report(self.done + advance)
+
+    def report(self, done: int) -> None:
+        """Set absolute completion; fires the callback if due (throttled)."""
+        self.done = min(self.total, max(self.done, int(done)))
+        if self._callback is None:
+            return
+        now = self._clock()
+        finished = self.done >= self.total
+        due = self._last_fire is None or (now - self._last_fire) >= self._min_interval_s
+        if not (finished or due):
+            return
+        self._last_fire = now
+        elapsed = now - self._start
+        eta = elapsed / self.done * (self.total - self.done) if self.done else None
+        self._callback(
+            ProgressEvent(
+                label=self.label,
+                done=self.done,
+                total=self.total,
+                elapsed_s=elapsed,
+                eta_s=eta,
+            )
+        )
+
+
+def print_progress(event: ProgressEvent, stream=None) -> None:
+    """Default human-readable progress line (written to stderr)."""
+    stream = stream if stream is not None else sys.stderr
+    eta = f"{event.eta_s:6.1f}s" if event.eta_s is not None else "   ?  "
+    label = f"{event.label}: " if event.label else ""
+    stream.write(
+        f"{label}{event.done}/{event.total} ({100 * event.fraction:5.1f}%)"
+        f"  elapsed {event.elapsed_s:6.1f}s  eta {eta}\n"
+    )
+    stream.flush()

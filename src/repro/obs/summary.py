@@ -1,0 +1,134 @@
+"""Trace-file summarization: the engine behind ``repro trace summarize``.
+
+Folds the records of one JSONL trace (see :mod:`repro.obs.trace`) into
+per-span timing statistics, counter totals, and a convergence digest of
+every solver span — then renders the lot as fixed-width tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.obs.metrics import timer_stats
+from repro.obs.trace import read_trace
+
+__all__ = ["summarize_trace", "render_trace_summary", "summarize_trace_file"]
+
+#: Span-name prefix that marks iterative-solver spans for the
+#: convergence digest (their attrs carry ``iterations``/``converged``).
+SOLVER_SPAN_PREFIX = "solver."
+
+
+def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate parsed trace records into a summary dictionary.
+
+    Returns ``{"spans", "counters", "gauges", "events", "solvers"}``;
+    ``spans`` maps span name to :func:`~repro.obs.metrics.timer_stats`
+    output, ``solvers`` maps solver span name to iteration/convergence
+    statistics.
+    """
+    durations: Dict[str, List[float]] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    events: Dict[str, int] = {}
+    solver_iterations: Dict[str, List[float]] = {}
+    solver_converged: Dict[str, int] = {}
+    solver_total: Dict[str, int] = {}
+
+    for record in records:
+        kind = record.get("type")
+        name = record.get("name", "")
+        if kind == "span":
+            durations.setdefault(name, []).append(float(record.get("dur_s", 0.0)))
+            if name.startswith(SOLVER_SPAN_PREFIX):
+                attrs = record.get("attrs") or {}
+                solver_total[name] = solver_total.get(name, 0) + 1
+                if "iterations" in attrs:
+                    solver_iterations.setdefault(name, []).append(float(attrs["iterations"]))
+                if attrs.get("converged"):
+                    solver_converged[name] = solver_converged.get(name, 0) + 1
+        elif kind == "counter":
+            counters[name] = counters.get(name, 0.0) + float(record.get("value", 0.0))
+        elif kind == "gauge":
+            gauges[name] = float(record.get("value", 0.0))
+        elif kind == "event":
+            events[name] = events.get(name, 0) + 1
+
+    solvers: Dict[str, Dict[str, float]] = {}
+    for name in sorted(solver_total):
+        iterations = solver_iterations.get(name, [])
+        solves = solver_total[name]
+        solvers[name] = {
+            "solves": solves,
+            "mean_iterations": sum(iterations) / len(iterations) if iterations else 0.0,
+            "max_iterations": max(iterations) if iterations else 0.0,
+            "converged_fraction": solver_converged.get(name, 0) / solves if solves else 0.0,
+        }
+
+    return {
+        "spans": {name: timer_stats(samples) for name, samples in sorted(durations.items())},
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "events": dict(sorted(events.items())),
+        "solvers": solvers,
+    }
+
+
+def summarize_trace_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse then summarize one trace file."""
+    return summarize_trace(read_trace(path))
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:9.3f}s"
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def render_trace_summary(summary: Mapping[str, Any], title: str = "Trace summary") -> str:
+    """Render a summary dictionary as fixed-width tables."""
+    lines: List[str] = [title, "=" * len(title), ""]
+
+    spans = summary.get("spans", {})
+    if spans:
+        lines.append(f"{'span':32s} {'count':>7s} {'total':>11s} {'mean':>11s} {'p50':>11s} {'p95':>11s}")
+        for name, stats in spans.items():
+            lines.append(
+                f"{name[:32]:32s} {stats['count']:7d}"
+                f" {_format_seconds(stats['total_s']):>11s}"
+                f" {_format_seconds(stats['mean_s']):>11s}"
+                f" {_format_seconds(stats['p50_s']):>11s}"
+                f" {_format_seconds(stats['p95_s']):>11s}"
+            )
+        lines.append("")
+
+    solvers = summary.get("solvers", {})
+    if solvers:
+        lines.append("solver convergence")
+        lines.append(f"{'solver':32s} {'solves':>7s} {'mean it':>8s} {'max it':>7s} {'conv %':>7s}")
+        for name, stats in solvers.items():
+            lines.append(
+                f"{name[:32]:32s} {stats['solves']:7d} {stats['mean_iterations']:8.1f}"
+                f" {stats['max_iterations']:7.0f} {100 * stats['converged_fraction']:6.1f}%"
+            )
+        lines.append("")
+
+    counters = summary.get("counters", {})
+    if counters:
+        lines.append("counters")
+        for name, value in counters.items():
+            rendered = f"{value:.0f}" if float(value).is_integer() else f"{value:.3f}"
+            lines.append(f"  {name:40s} {rendered:>12s}")
+        lines.append("")
+
+    events = summary.get("events", {})
+    if events:
+        lines.append("events")
+        for name, count in events.items():
+            lines.append(f"  {name:40s} {count:>12d}")
+        lines.append("")
+
+    if len(lines) == 3:
+        lines.append("(empty trace)")
+    return "\n".join(lines).rstrip() + "\n"

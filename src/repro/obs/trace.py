@@ -1,0 +1,140 @@
+"""Structured JSONL tracing.
+
+A :class:`TraceRecorder` is a :class:`~repro.obs.recorder.MetricsRecorder`
+that additionally streams every span, event, counter, and gauge to a
+JSON-Lines file. One record per line; the schema (version
+``repro.obs/1``) is:
+
+``{"type": "trace", ...}``
+    Header: schema version, wall-clock epoch, package version.
+``{"type": "span", "name", "t0_s", "dur_s", "span_id", "parent_id", "depth", "attrs"}``
+    One completed span; ``t0_s`` is seconds since the header epoch, and
+    children appear before their parents (they close first).
+``{"type": "event", "name", "t_s", "attrs"}``
+    A point observation, e.g. one solver iteration.
+``{"type": "counter"|"gauge", "name", "value", "t_s"}``
+    Metric updates as they happen.
+``{"type": "summary", "metrics": {...}}``
+    Written on :meth:`~TraceRecorder.close`: the registry's aggregation.
+
+:func:`read_trace` is the inverse — it parses a trace file back into
+records and is what ``repro trace summarize`` builds on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter, time as wall_time
+from typing import Any, Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import MetricsRecorder, Span
+from repro.utils.serialization import to_jsonable
+
+__all__ = ["TraceRecorder", "read_trace", "TRACE_SCHEMA"]
+
+TRACE_SCHEMA = "repro.obs/1"
+
+
+class TraceRecorder(MetricsRecorder):
+    """Metrics aggregation plus streaming JSONL output.
+
+    Usable as a context manager; :meth:`close` flushes the trailing
+    metrics summary. Timestamps are monotonic seconds relative to
+    recorder creation, anchored to wall-clock time in the header record.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        super().__init__(metrics)
+        self._path = Path(path)
+        self._file = self._path.open("w", encoding="utf-8")
+        self._t0 = perf_counter()
+        self._closed = False
+        self._write(
+            {
+                "type": "trace",
+                "schema": TRACE_SCHEMA,
+                "epoch_unix_s": wall_time(),
+            }
+        )
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def _now(self) -> float:
+        return perf_counter() - self._t0
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        self._file.write(json.dumps(to_jsonable(record)) + "\n")
+        self._file.flush()
+
+    # -- backend hooks --------------------------------------------------
+
+    def _on_span_end(self, span: Span, duration: float) -> None:
+        self._write(
+            {
+                "type": "span",
+                "name": span.name,
+                "t0_s": self._now() - duration,
+                "dur_s": duration,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "depth": span.depth,
+                "attrs": span.attrs,
+            }
+        )
+
+    def _on_event(self, name: str, attrs: Dict[str, Any]) -> None:
+        self._write({"type": "event", "name": name, "t_s": self._now(), "attrs": attrs})
+
+    def _on_counter(self, name: str, value: float) -> None:
+        self._write({"type": "counter", "name": name, "value": value, "t_s": self._now()})
+
+    def _on_gauge(self, name: str, value: float) -> None:
+        self._write({"type": "gauge", "name": name, "value": value, "t_s": self._now()})
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._write({"type": "summary", "metrics": self.metrics.summary()})
+        self._closed = True
+        self._file.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file into a list of records.
+
+    Raises ``ValueError`` on malformed lines so callers (and CI smoke
+    checks) notice truncated or corrupt traces instead of silently
+    summarizing a partial file.
+    """
+    records: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: malformed trace line: {error}") from None
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError(f"{path}:{line_number}: trace records must be objects with a 'type'")
+            records.append(record)
+    return records

@@ -20,7 +20,7 @@ from __future__ import annotations
 import functools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.baselines.digital_rx import DigitalRxSearch
 from repro.baselines.genie import GenieAligner
@@ -32,6 +32,14 @@ from repro.baselines.ucb import UcbSearch
 from repro.core.bidirectional import BidirectionalAlignment
 from repro.core.proposed import ProposedAlignment
 from repro.exceptions import ConfigurationError
+from repro.obs import (
+    MetricsRecorder,
+    ProgressCallback,
+    ProgressReporter,
+    get_logger,
+    get_recorder,
+    use_recorder,
+)
 from repro.sim.config import ScenarioConfig
 from repro.sim.runner import run_trial
 from repro.sim.scenario import Scenario
@@ -39,6 +47,8 @@ from repro.types import BeamPair
 from repro.utils.rng import trial_generator
 
 __all__ = ["SchemeSpec", "ParallelOutcome", "run_trials_parallel", "SCHEME_BUILDERS"]
+
+logger = get_logger("sim.parallel")
 
 #: Scheme name -> constructor. Every entry must be constructible from
 #: keyword arguments alone; the genie additionally receives the channel.
@@ -102,23 +112,42 @@ def _run_one_trial(
     search_rate: float,
     base_seed: int,
     trial_index: int,
-) -> Dict[str, ParallelOutcome]:
-    """Worker entry point: one full trial, all schemes."""
+    collect_metrics: bool = False,
+) -> Tuple[Dict[str, ParallelOutcome], Optional[Dict[str, Any]]]:
+    """Worker entry point: one full trial, all schemes.
+
+    With ``collect_metrics`` the trial runs under a worker-local
+    :class:`~repro.obs.MetricsRecorder` and the registry snapshot rides
+    back across the process boundary for the parent to merge. Recorders
+    never touch RNG streams, so outcomes are identical either way.
+    """
     scenario = _scenario_for(config)
     schemes = {spec.name: spec.build_factory() for spec in specs}
-    outcomes = run_trial(
-        scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
-    )
-    return {
-        name: ParallelOutcome(
-            algorithm=name,
-            loss_db=outcome.loss_db,
-            measurements_used=outcome.result.measurements_used,
-            selected=outcome.result.selected,
-            optimal_snr=outcome.evaluation.optimal_snr,
+    metrics_snapshot: Optional[Dict[str, Any]] = None
+    if collect_metrics:
+        worker_recorder = MetricsRecorder()
+        with use_recorder(worker_recorder):
+            outcomes = run_trial(
+                scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
+            )
+        metrics_snapshot = worker_recorder.metrics.snapshot()
+    else:
+        outcomes = run_trial(
+            scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
         )
-        for name, outcome in outcomes.items()
-    }
+    return (
+        {
+            name: ParallelOutcome(
+                algorithm=name,
+                loss_db=outcome.loss_db,
+                measurements_used=outcome.result.measurements_used,
+                selected=outcome.result.selected,
+                optimal_snr=outcome.evaluation.optimal_snr,
+            )
+            for name, outcome in outcomes.items()
+        },
+        metrics_snapshot,
+    )
 
 
 def run_trials_parallel(
@@ -128,12 +157,19 @@ def run_trials_parallel(
     num_trials: int,
     base_seed: int = 0,
     max_workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[Dict[str, ParallelOutcome]]:
     """Run ``num_trials`` independent trials across worker processes.
 
     With ``max_workers=1`` (or in environments where process pools are
     unavailable) the trials run in the current process through the same
     code path, so results are identical either way.
+
+    When an enabled recorder is active in the parent, each worker collects
+    a local metrics registry and the snapshots are merged into the
+    parent's registry as trials complete, so solver iteration counts and
+    span timings survive the process boundary. ``progress`` receives
+    throttled completion/ETA updates.
     """
     if num_trials < 1:
         raise ConfigurationError(f"num_trials must be >= 1, got {num_trials}")
@@ -144,14 +180,49 @@ def run_trials_parallel(
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate scheme names in specs: {names}")
 
+    recorder = get_recorder()
+    reporter = ProgressReporter(num_trials, progress, label="trials")
+    collect = recorder.enabled and recorder.metrics is not None
+
     if max_workers == 1:
-        return [
-            _run_one_trial(config, specs, search_rate, base_seed, trial)
-            for trial in range(num_trials)
-        ]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(_run_one_trial, config, specs, search_rate, base_seed, trial)
-            for trial in range(num_trials)
-        ]
-        return [future.result() for future in futures]
+        # In-process: the parent's recorder is already active, so spans and
+        # events stream to it directly (no snapshot indirection needed).
+        results = []
+        with recorder.span(
+            "run_trials_parallel", num_trials=num_trials, workers=1, search_rate=search_rate
+        ):
+            for trial in range(num_trials):
+                outcomes, _ = _run_one_trial(config, specs, search_rate, base_seed, trial)
+                results.append(outcomes)
+                reporter.update()
+        return results
+
+    logger.debug(
+        "run_trials_parallel: %d trials, max_workers=%s, collect_metrics=%s",
+        num_trials,
+        max_workers,
+        collect,
+    )
+    with recorder.span(
+        "run_trials_parallel",
+        num_trials=num_trials,
+        workers=max_workers or 0,
+        search_rate=search_rate,
+    ) as span:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_one_trial, config, specs, search_rate, base_seed, trial, collect
+                )
+                for trial in range(num_trials)
+            ]
+            results = []
+            for trial, future in enumerate(futures):
+                outcomes, snapshot = future.result()
+                results.append(outcomes)
+                if collect and snapshot:
+                    recorder.metrics.merge_snapshot(snapshot)
+                    recorder.event("parallel.trial_merged", trial=trial)
+                reporter.update()
+        span.annotate(merged_metrics=collect)
+    return results

@@ -12,7 +12,7 @@ Fairness rules baked in:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping
+from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -25,11 +25,14 @@ from repro.core.result import AlignmentResult
 from repro.exceptions import ConfigurationError
 from repro.measurement.budget import MeasurementBudget
 from repro.measurement.measurer import MeasurementEngine
+from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
 from repro.sim.metrics import PairEvaluation, evaluate_pair
 from repro.sim.scenario import Scenario
 from repro.utils.rng import spawn, trial_generator
 
 __all__ = ["AlgorithmFactory", "TrialOutcome", "standard_schemes", "run_trial", "run_trials"]
+
+logger = get_logger("sim.runner")
 
 #: Builds a scheme instance for a given channel realization. Most schemes
 #: ignore the channel; the genie upper bound needs it.
@@ -77,28 +80,41 @@ def run_trial(
     """One channel draw; every scheme aligns under the same budget."""
     if not schemes:
         raise ConfigurationError("run_trial needs at least one scheme")
-    channel_rng, *scheme_rngs = spawn(rng, 1 + 2 * len(schemes))
-    channel = scenario.sample_channel(channel_rng)
-    snr_matrix = channel.mean_snr_matrix(scenario.tx_codebook, scenario.rx_codebook)
+    recorder = get_recorder()
+    with recorder.span("trial", search_rate=search_rate) as trial_span:
+        channel_rng, *scheme_rngs = spawn(rng, 1 + 2 * len(schemes))
+        channel = scenario.sample_channel(channel_rng)
+        snr_matrix = channel.mean_snr_matrix(scenario.tx_codebook, scenario.rx_codebook)
 
-    outcomes: Dict[str, TrialOutcome] = {}
-    for index, (name, factory) in enumerate(schemes.items()):
-        engine_rng = scheme_rngs[2 * index]
-        algo_rng = scheme_rngs[2 * index + 1]
-        engine = MeasurementEngine(
-            channel, engine_rng, fading_blocks=scenario.config.fading_blocks
-        )
-        budget = MeasurementBudget.from_search_rate(scenario.total_pairs, search_rate)
-        context = AlignmentContext(
-            scenario.tx_codebook, scenario.rx_codebook, engine, budget
-        )
-        algorithm = factory(channel)
-        result = algorithm.align(context, algo_rng)
-        outcomes[name] = TrialOutcome(
-            algorithm=name,
-            result=result,
-            evaluation=evaluate_pair(snr_matrix, result.selected),
-        )
+        outcomes: Dict[str, TrialOutcome] = {}
+        for index, (name, factory) in enumerate(schemes.items()):
+            engine_rng = scheme_rngs[2 * index]
+            algo_rng = scheme_rngs[2 * index + 1]
+            engine = MeasurementEngine(
+                channel, engine_rng, fading_blocks=scenario.config.fading_blocks
+            )
+            budget = MeasurementBudget.from_search_rate(scenario.total_pairs, search_rate)
+            context = AlignmentContext(
+                scenario.tx_codebook, scenario.rx_codebook, engine, budget
+            )
+            algorithm = factory(channel)
+            with recorder.span(f"scheme.{name}") as scheme_span:
+                result = algorithm.align(context, algo_rng)
+                outcome = TrialOutcome(
+                    algorithm=name,
+                    result=result,
+                    evaluation=evaluate_pair(snr_matrix, result.selected),
+                )
+                scheme_span.annotate(
+                    loss_db=outcome.loss_db,
+                    measurements=result.measurements_used,
+                    search_rate=result.search_rate,
+                )
+            if recorder.enabled:
+                recorder.increment(f"scheme.{name}.measurements", result.measurements_used)
+                recorder.increment(f"scheme.{name}.trials")
+            outcomes[name] = outcome
+        trial_span.annotate(schemes=list(outcomes))
     return outcomes
 
 
@@ -108,16 +124,30 @@ def run_trials(
     search_rate: float,
     num_trials: int,
     base_seed: int = 0,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[Dict[str, TrialOutcome]]:
     """Independent trials with per-trial deterministic seeding.
 
     Trial ``k`` always sees the same channel for a given ``base_seed``
     regardless of how many other trials run — experiments are resumable
-    and individually reproducible.
+    and individually reproducible. ``progress``, if given, receives
+    throttled :class:`~repro.obs.ProgressEvent` updates with an ETA;
+    progress reporting never touches the trial RNG streams.
     """
     if num_trials < 1:
         raise ConfigurationError(f"num_trials must be >= 1, got {num_trials}")
-    return [
-        run_trial(scenario, schemes, search_rate, trial_generator(base_seed, trial))
-        for trial in range(num_trials)
-    ]
+    recorder = get_recorder()
+    reporter = ProgressReporter(num_trials, progress, label="trials")
+    logger.debug(
+        "run_trials: %d trials at rate %.3f (seed %d)", num_trials, search_rate, base_seed
+    )
+    outcomes: List[Dict[str, TrialOutcome]] = []
+    with recorder.span(
+        "run_trials", num_trials=num_trials, search_rate=search_rate, base_seed=base_seed
+    ):
+        for trial in range(num_trials):
+            outcomes.append(
+                run_trial(scenario, schemes, search_rate, trial_generator(base_seed, trial))
+            )
+            reporter.update()
+    return outcomes

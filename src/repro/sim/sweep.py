@@ -19,14 +19,17 @@ and scheme differences are paired comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ValidationError
+from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
 from repro.sim.aggregate import SeriesStats, summarize
 from repro.sim.runner import AlgorithmFactory, run_trials
 from repro.sim.scenario import Scenario
+
+logger = get_logger("sim.sweep")
 
 __all__ = [
     "EffectivenessSweep",
@@ -78,18 +81,45 @@ def effectiveness_sweep(
     search_rates: Sequence[float],
     num_trials: int,
     base_seed: int = 0,
+    progress: Optional[ProgressCallback] = None,
 ) -> EffectivenessSweep:
-    """Run every scheme at every search rate; collect per-trial losses."""
+    """Run every scheme at every search rate; collect per-trial losses.
+
+    ``progress`` receives throttled completion/ETA updates over the whole
+    ``len(search_rates) * num_trials`` grid; it observes the sweep without
+    touching its RNG streams, so results are identical with or without it.
+    """
     rates = [float(rate) for rate in search_rates]
     if not rates:
         raise ConfigurationError("need at least one search rate")
     if any(not 0.0 < rate <= 1.0 for rate in rates):
         raise ConfigurationError(f"search rates must be in (0, 1], got {rates}")
+    recorder = get_recorder()
+    reporter = ProgressReporter(len(rates) * num_trials, progress, label="sweep")
+    logger.info(
+        "effectiveness sweep: %d rates x %d trials, %d schemes",
+        len(rates),
+        num_trials,
+        len(schemes),
+    )
     losses: Dict[str, List[List[float]]] = {name: [] for name in schemes}
-    for rate in rates:
-        trials = run_trials(scenario, schemes, rate, num_trials, base_seed=base_seed)
-        for name in schemes:
-            losses[name].append([trial[name].loss_db for trial in trials])
+    with recorder.span(
+        "effectiveness_sweep", rates=rates, num_trials=num_trials, schemes=list(schemes)
+    ):
+        for rate_index, rate in enumerate(rates):
+            inner: Optional[ProgressCallback] = None
+            if progress is not None:
+                base = rate_index * num_trials
+
+                def inner(event, base=base):
+                    reporter.report(base + event.done)
+
+            with recorder.span("sweep.rate", search_rate=rate):
+                trials = run_trials(
+                    scenario, schemes, rate, num_trials, base_seed=base_seed, progress=inner
+                )
+            for name in schemes:
+                losses[name].append([trial[name].loss_db for trial in trials])
     return EffectivenessSweep(search_rates=rates, losses=losses)
 
 
@@ -103,6 +133,13 @@ def required_search_rates(
         raise ValidationError("need at least one target loss")
     if any(target < 0 for target in targets):
         raise ValidationError(f"target losses must be >= 0 dB, got {targets}")
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.event(
+            "required_search_rates",
+            num_targets=len(targets),
+            num_schemes=len(sweep.schemes()),
+        )
     order = np.argsort(sweep.search_rates)
     sorted_rates = [sweep.search_rates[i] for i in order]
     curve: Dict[str, List[float]] = {}

@@ -33,6 +33,21 @@ class TestParser:
         assert args.channel == "singlepath"
         assert args.rate == 0.2
 
+    def test_run_trace_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--quick", "--trace", "out.jsonl", "--progress"]
+        )
+        assert args.trace == "out.jsonl"
+        assert args.progress
+
+    def test_trace_summarize_parses(self):
+        args = build_parser().parse_args(["trace", "summarize", "out.jsonl"])
+        assert args.trace_file == "out.jsonl"
+
+    def test_log_level_option(self):
+        args = build_parser().parse_args(["--log-level", "debug", "list"])
+        assert args.log_level == "debug"
+
 
 class TestCommands:
     def test_list_prints_experiments(self, capsys):
@@ -81,3 +96,50 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestTracing:
+    def test_run_writes_parseable_trace(self, capsys, tmp_path: Path):
+        from repro.obs import read_trace
+
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["run", "fig6", "--quick", "--trials", "2", "--trace", str(trace_path)]) == 0
+        records = read_trace(trace_path)
+        kinds = {record["type"] for record in records}
+        assert {"trace", "span", "summary"} <= kinds
+        names = {record.get("name") for record in records}
+        assert "trial" in names
+        assert "solver.ml_covariance.iteration" in names
+
+    def test_trace_summarize_renders_table(self, capsys, tmp_path: Path):
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["run", "fig6", "--quick", "--trials", "2", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Trace summary" in output
+        assert "solver.ml_covariance" in output
+        assert "solver convergence" in output
+
+    def test_align_prints_solver_diagnostics(self, capsys):
+        assert main(["align", "--channel", "multipath", "--rate", "0.05", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "ml-covariance solver:" in output
+        assert "converged" in output
+
+    def test_align_trace(self, capsys, tmp_path: Path):
+        from repro.obs import read_trace
+
+        trace_path = tmp_path / "align.jsonl"
+        assert (
+            main(
+                ["align", "--channel", "multipath", "--rate", "0.05", "--trace", str(trace_path)]
+            )
+            == 0
+        )
+        assert any(record["type"] == "span" for record in read_trace(trace_path))
+
+    def test_progress_flag(self, capsys, tmp_path: Path):
+        assert main(["run", "fig6", "--quick", "--trials", "2", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "sweep:" in err

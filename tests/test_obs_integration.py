@@ -1,0 +1,223 @@
+"""Integration tests: instrumentation across solvers, runner, and sweeps.
+
+The load-bearing guarantee is the determinism regression: recorders only
+observe, so instrumented and uninstrumented runs of the same seeds must
+produce bit-identical outcomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation.ml_covariance import MlCovarianceEstimator
+from repro.mc.alm import rpca_ialm
+from repro.obs import (
+    MetricsRecorder,
+    TraceRecorder,
+    read_trace,
+    use_recorder,
+)
+from repro.sim.parallel import SchemeSpec, run_trials_parallel
+from repro.sim.runner import run_trials, standard_schemes
+from repro.sim.sweep import effectiveness_sweep
+
+
+def _outcome_fingerprint(trials):
+    """Everything that should be invariant under instrumentation."""
+    return [
+        (
+            name,
+            outcome.loss_db,
+            outcome.result.selected,
+            outcome.result.measurements_used,
+            outcome.result.selected_power,
+        )
+        for trial in trials
+        for name, outcome in trial.items()
+    ]
+
+
+class TestDeterminism:
+    def test_instrumented_run_trials_bit_identical(self, small_scenario, tmp_path):
+        schemes = standard_schemes(measurements_per_slot=4)
+        baseline = run_trials(small_scenario, schemes, 0.3, 3, base_seed=11)
+        with TraceRecorder(tmp_path / "t.jsonl") as recorder, use_recorder(recorder):
+            traced = run_trials(
+                small_scenario,
+                standard_schemes(measurements_per_slot=4),
+                0.3,
+                3,
+                base_seed=11,
+            )
+        assert _outcome_fingerprint(baseline) == _outcome_fingerprint(traced)
+
+    def test_progress_callback_does_not_perturb(self, small_scenario):
+        schemes = standard_schemes(measurements_per_slot=4)
+        baseline = run_trials(small_scenario, schemes, 0.3, 3, base_seed=11)
+        events = []
+        with_progress = run_trials(
+            small_scenario,
+            standard_schemes(measurements_per_slot=4),
+            0.3,
+            3,
+            base_seed=11,
+            progress=events.append,
+        )
+        assert _outcome_fingerprint(baseline) == _outcome_fingerprint(with_progress)
+        assert events[-1].done == 3
+
+
+class TestRunnerTracing:
+    def test_trace_contains_trial_and_solver_records(self, small_scenario, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceRecorder(path) as recorder, use_recorder(recorder):
+            run_trials(
+                small_scenario,
+                standard_schemes(measurements_per_slot=4),
+                0.3,
+                2,
+                base_seed=0,
+            )
+        records = read_trace(path)
+        span_names = [r["name"] for r in records if r["type"] == "span"]
+        assert span_names.count("trial") == 2
+        assert "run_trials" in span_names
+        assert any(name.startswith("scheme.") for name in span_names)
+        assert any(name == "solver.ml_covariance" for name in span_names)
+        event_names = {r["name"] for r in records if r["type"] == "event"}
+        assert "solver.ml_covariance.iteration" in event_names
+        # every span carries timing data
+        assert all(r["dur_s"] >= 0.0 for r in records if r["type"] == "span")
+
+    def test_scheme_counters_accumulate(self, small_scenario):
+        recorder = MetricsRecorder()
+        with use_recorder(recorder):
+            trials = run_trials(
+                small_scenario,
+                standard_schemes(measurements_per_slot=4),
+                0.3,
+                2,
+                base_seed=0,
+            )
+        expected = sum(t["Proposed"].result.measurements_used for t in trials)
+        assert recorder.metrics.counter("scheme.Proposed.measurements") == expected
+        assert recorder.metrics.counter("scheme.Proposed.trials") == 2
+
+
+class TestSweepInstrumentation:
+    def test_sweep_progress_covers_grid(self, small_scenario):
+        events = []
+        effectiveness_sweep(
+            small_scenario,
+            standard_schemes(measurements_per_slot=4),
+            [0.2, 0.3],
+            2,
+            base_seed=0,
+            progress=events.append,
+        )
+        assert events[-1].done == 4
+        assert events[-1].total == 4
+
+    def test_sweep_spans_per_rate(self, small_scenario, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceRecorder(path) as recorder, use_recorder(recorder):
+            effectiveness_sweep(
+                small_scenario,
+                standard_schemes(measurements_per_slot=4),
+                [0.2, 0.3],
+                1,
+                base_seed=0,
+            )
+        span_names = [r["name"] for r in read_trace(path) if r["type"] == "span"]
+        assert span_names.count("sweep.rate") == 2
+        assert "effectiveness_sweep" in span_names
+
+
+class TestParallelMetricsMerge:
+    SPECS = (
+        SchemeSpec.of("Random"),
+        SchemeSpec.of("Proposed", measurements_per_slot=4),
+    )
+
+    def test_worker_metrics_merge_across_processes(self, small_config):
+        recorder = MetricsRecorder()
+        with use_recorder(recorder):
+            trials = run_trials_parallel(
+                small_config, self.SPECS, 0.3, 3, base_seed=5, max_workers=2
+            )
+        expected = sum(t["Proposed"].measurements_used for t in trials)
+        metrics = recorder.metrics
+        assert metrics.counter("scheme.Proposed.measurements") == expected
+        assert metrics.counter("scheme.Proposed.trials") == 3
+        # worker-side solver telemetry survived the process boundary
+        assert metrics.counter("estimator.ml.solves") > 0
+        # per-trial merge events were recorded in the parent
+        assert metrics.counter("parallel.trial_merged") == 3
+
+    def test_parallel_matches_serial_with_recorder(self, small_config):
+        plain = run_trials_parallel(
+            small_config, self.SPECS, 0.3, 2, base_seed=5, max_workers=1
+        )
+        with use_recorder(MetricsRecorder()):
+            recorded = run_trials_parallel(
+                small_config, self.SPECS, 0.3, 2, base_seed=5, max_workers=2
+            )
+        assert plain == recorded
+
+    def test_parallel_progress(self, small_config):
+        events = []
+        run_trials_parallel(
+            small_config,
+            self.SPECS,
+            0.3,
+            2,
+            base_seed=5,
+            max_workers=1,
+            progress=events.append,
+        )
+        assert events[-1].done == 2
+
+
+class TestSolverDiagnostics:
+    def test_estimator_keeps_last_result(self, rng):
+        estimator = MlCovarianceEstimator(max_iterations=10)
+        probes = rng.standard_normal((8, 3)) + 1j * rng.standard_normal((8, 3))
+        powers = np.abs(rng.standard_normal(3)) + 0.05
+        assert estimator.last_result is None
+        estimator.estimate(probes, powers, 0.01)
+        assert estimator.last_result is not None
+        assert estimator.last_result.iterations >= 1
+        assert estimator.num_solves == 1
+        assert estimator.total_iterations == estimator.last_result.iterations
+        estimator.estimate(probes, powers, 0.01)
+        assert estimator.num_solves == 2
+        assert estimator.num_converged <= 2
+
+    def test_rpca_residual_history(self, rng):
+        low_rank = rng.standard_normal((12, 12))
+        result = rpca_ialm(low_rank, max_iterations=50, tolerance=1e-6)
+        assert len(result.residual_history) == result.iterations
+        assert result.residual_history[-1] == pytest.approx(result.residual)
+
+    def test_rpca_iteration_events(self, rng, tmp_path):
+        path = tmp_path / "t.jsonl"
+        observed = rng.standard_normal((10, 10))
+        with TraceRecorder(path) as recorder, use_recorder(recorder):
+            rpca_ialm(observed, max_iterations=20)
+        records = read_trace(path)
+        events = [r for r in records if r["type"] == "event"]
+        assert events, "no iteration events recorded"
+        assert all(r["name"] == "solver.rpca_ialm.iteration" for r in events)
+        span = next(r for r in records if r["type"] == "span")
+        assert span["name"] == "solver.rpca_ialm"
+        assert "iterations" in span["attrs"]
+        assert "converged" in span["attrs"]
+
+    def test_proposed_slots_carry_convergence(self, small_scenario):
+        trials = run_trials(
+            small_scenario, standard_schemes(measurements_per_slot=4), 0.3, 1, base_seed=3
+        )
+        slots = trials[0]["Proposed"].result.slots
+        flagged = [s for s in slots if s.estimator_converged is not None]
+        assert flagged, "no slot recorded estimator convergence"
