@@ -6,7 +6,13 @@ from repro.arrays.beampattern import (
     array_factor,
     pattern_cut_db,
 )
-from repro.arrays.codebook import Codebook
+from repro.arrays.codebook import (
+    Codebook,
+    CodebookGainCache,
+    gain_cache_enabled,
+    set_gain_cache_enabled,
+    use_gain_cache,
+)
 from repro.arrays.geometry import ArrayGeometry
 from repro.arrays.hierarchical import HierarchicalCodebook, WideBeam
 from repro.arrays.steering import direction_unit_vector, steering_matrix, steering_vector
@@ -20,6 +26,10 @@ __all__ = [
     "pattern_cut_db",
     "ArrayGeometry",
     "Codebook",
+    "CodebookGainCache",
+    "gain_cache_enabled",
+    "set_gain_cache_enabled",
+    "use_gain_cache",
     "HierarchicalCodebook",
     "WideBeam",
     "UniformLinearArray",

@@ -18,7 +18,12 @@ dimension, which is the classical DFT-codebook angle set.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+import hashlib
+import os
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -31,7 +36,147 @@ from repro.utils.geometry import Direction, uniform_sine_grid
 from repro.utils.linalg import quadratic_forms
 from repro.utils.validation import check_index
 
-__all__ = ["Codebook"]
+__all__ = [
+    "Codebook",
+    "CodebookGainCache",
+    "gain_cache_enabled",
+    "set_gain_cache_enabled",
+    "use_gain_cache",
+]
+
+# ----------------------------------------------------------------------
+# Global gain-cache switch
+# ----------------------------------------------------------------------
+
+#: Process-wide switch for the memoized gain evaluation. Caching is an
+#: exact memoization (the cached array *is* the array the uncached path
+#: would have computed), so seeded results are bit-identical either way;
+#: the switch exists for A/B benchmarking and determinism regression tests.
+_GAIN_CACHE_ENABLED = os.environ.get("REPRO_GAIN_CACHE", "1") != "0"
+
+
+def gain_cache_enabled() -> bool:
+    """Whether codebook gain evaluations are currently memoized."""
+    return _GAIN_CACHE_ENABLED
+
+
+def set_gain_cache_enabled(enabled: bool) -> bool:
+    """Flip the process-wide gain-cache switch; returns the previous value."""
+    global _GAIN_CACHE_ENABLED
+    previous = _GAIN_CACHE_ENABLED
+    _GAIN_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_gain_cache(enabled: bool):
+    """Context manager scoping the gain-cache switch (tests, benchmarks)."""
+    previous = set_gain_cache_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_gain_cache_enabled(previous)
+
+
+class CodebookGainCache:
+    """Memoized all-beam quadratic forms ``diag(V^H Q V)`` for one codebook.
+
+    The beam matrix ``V`` is stacked once at construction; every gain
+    evaluation is a single GEMM + einsum over all beams, and repeated
+    evaluations against the *same* covariance (the common case: each
+    slot's estimate is consulted for probe ranking, the decided beam, and
+    again as next slot's prior) are served from a small LRU without
+    touching BLAS.
+
+    Keying is exact, never heuristic:
+
+    * read-only arrays (covariance estimates produced by
+      :class:`~repro.estimation.ml_covariance.MlCovarianceEstimator` are
+      frozen) are keyed by object identity, validated through a weakref so
+      a recycled ``id`` can never alias a dead array;
+    * writeable arrays are keyed by a content digest of their bytes, so a
+      caller mutating a covariance in place gets a fresh evaluation —
+      never a stale one.
+
+    A hit returns the *identical* array object a miss would have produced
+    (computed by the same :func:`~repro.utils.linalg.quadratic_forms`
+    call), so cached and uncached runs are bit-identical.
+    """
+
+    def __init__(self, vectors: np.ndarray, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValidationError(f"cache capacity must be >= 1, got {capacity}")
+        self._vectors = vectors
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._guards: Dict[tuple, "weakref.ref[np.ndarray]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- keying --------------------------------------------------------
+
+    @staticmethod
+    def _key(covariance: np.ndarray) -> tuple:
+        if not covariance.flags.writeable:
+            return ("id", id(covariance))
+        data = np.ascontiguousarray(covariance)
+        digest = hashlib.blake2b(data.tobytes(), digest_size=16).digest()
+        return ("content", covariance.shape, covariance.dtype.str, digest)
+
+    def _valid_hit(self, key: tuple, covariance: np.ndarray) -> bool:
+        if key[0] != "id":
+            return True
+        guard = self._guards.get(key)
+        return guard is not None and guard() is covariance
+
+    # -- evaluation ----------------------------------------------------
+
+    def gains(self, covariance: np.ndarray) -> np.ndarray:
+        """``v_k^H Q v_k`` for every beam ``k``, memoized; read-only."""
+        covariance = np.asarray(covariance)
+        key = self._key(covariance)
+        cached = self._entries.get(key)
+        if cached is not None and self._valid_hit(key, covariance):
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        gains = quadratic_forms(covariance, self._vectors)
+        gains.setflags(write=False)
+        if key[0] == "id":
+            try:
+                self._guards[key] = weakref.ref(covariance)
+            except TypeError:  # exotic array subclass without weakref support
+                key = self._key(np.array(covariance))  # content fallback
+        self._entries[key] = gains
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self._guards.pop(evicted, None)
+            self.evictions += 1
+        return gains
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached evaluation (counters are preserved)."""
+        self._entries.clear()
+        self._guards.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of memoized covariances."""
+        return self._capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"CodebookGainCache(entries={len(self._entries)},"
+            f" hits={self.hits}, misses={self.misses})"
+        )
 
 
 class Codebook:
@@ -69,6 +214,7 @@ class Codebook:
             raise ValidationError("all codebook vectors must be unit-norm")
         self._vectors = vectors
         self._vectors.setflags(write=False)
+        self._gain_cache: Optional[CodebookGainCache] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -167,6 +313,11 @@ class Codebook:
         rows, cols = self._grid_shape
         return f"Codebook(name={self._name!r}, beams={rows}x{cols})"
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_gain_cache"] = None  # weakref guards are not picklable
+        return state
+
     # ------------------------------------------------------------------
     # Beam-grid topology
     # ------------------------------------------------------------------
@@ -220,8 +371,23 @@ class Codebook:
     # Beam-quality evaluation
     # ------------------------------------------------------------------
 
+    @property
+    def gain_cache(self) -> CodebookGainCache:
+        """The per-codebook memoized gain evaluator (created lazily)."""
+        if self._gain_cache is None:
+            self._gain_cache = CodebookGainCache(self._vectors)
+        return self._gain_cache
+
     def gains(self, covariance: np.ndarray) -> np.ndarray:
-        """``v_k^H Q v_k`` for every beam ``k`` (vectorized Eq. 26 metric)."""
+        """``v_k^H Q v_k`` for every beam ``k`` (vectorized Eq. 26 metric).
+
+        A single stacked GEMM over the beam matrix, memoized per
+        covariance while the global gain cache is enabled (see
+        :func:`use_gain_cache`). The returned array is read-only when it
+        comes from the cache; copy before mutating.
+        """
+        if _GAIN_CACHE_ENABLED:
+            return self.gain_cache.gains(covariance)
         return quadratic_forms(covariance, self._vectors)
 
     def best_beam(

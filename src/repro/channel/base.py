@@ -27,6 +27,7 @@ exhaustive-search optimum (Eq. 2) without simulating 4096 measurements.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -41,7 +42,27 @@ from repro.utils.linalg import hermitian
 from repro.utils.rng import complex_normal
 from repro.utils.validation import check_positive, check_unit_norm
 
-__all__ = ["Subpath", "ClusteredChannel"]
+__all__ = ["Subpath", "CodebookCoupling", "ClusteredChannel"]
+
+
+@dataclass(frozen=True)
+class CodebookCoupling:
+    """Precomputed beam/subpath projections for a codebook pair.
+
+    ``tx_proj[:, u] = a_tx^H u`` (shape ``(K, card(U))``) and
+    ``rx_proj[v, :] = v^H a_rx`` (shape ``(card(V), K)``) — every
+    per-subpath coupling ``c_k`` of every codebook beam pair, computed as
+    two stacked GEMMs. One table serves every measurement of a trial (and
+    every scheme in it), replacing the two per-measurement matrix-vector
+    products of :meth:`ClusteredChannel.beamformed_coefficients`.
+    """
+
+    tx_proj: np.ndarray
+    rx_proj: np.ndarray
+
+    def coefficients(self, tx_index: int, rx_index: int) -> np.ndarray:
+        """Per-subpath couplings ``c_k`` of codebook pair ``(u, v)``."""
+        return self.rx_proj[rx_index] * self.tx_proj[:, tx_index]
 
 
 @dataclass(frozen=True)
@@ -113,6 +134,14 @@ class ClusteredChannel:
         )
         self._rx_steering = steering_matrix(
             rx_array, [path.rx_direction for path in self._subpaths]
+        )
+        self._sqrt_powers = np.sqrt(self._powers)
+        # Codebook-coupling tables, keyed by codebook identity. Codebooks
+        # are immutable and long-lived (they belong to the scenario), so
+        # identity keying is sound; the stored references keep the ids
+        # from being recycled while an entry lives.
+        self._couplings: "OrderedDict[Tuple[int, int], Tuple[Codebook, Codebook, CodebookCoupling]]" = (
+            OrderedDict()
         )
 
     # ------------------------------------------------------------------
@@ -193,7 +222,22 @@ class ClusteredChannel:
     ) -> np.ndarray:
         """``count`` i.i.d. fading realizations of ``v^H H u`` (no noise)."""
         coefficients = self.beamformed_coefficients(tx_beam, rx_beam)
-        gains = complex_normal(rng, (count, self.num_subpaths)) * np.sqrt(self._powers)
+        return self.sample_coefficients(coefficients, rng, count)
+
+    def sample_coefficients(
+        self,
+        coefficients: np.ndarray,
+        rng: np.random.Generator,
+        count: int = 1,
+    ) -> np.ndarray:
+        """Fading realizations for precomputed couplings ``c_k``.
+
+        Identical RNG consumption and arithmetic as
+        :meth:`sample_beamformed`; the split lets the measurement engine
+        reuse a :class:`CodebookCoupling` table instead of re-projecting
+        the beams on every dwell.
+        """
+        gains = complex_normal(rng, (count, self.num_subpaths)) * self._sqrt_powers
         return gains @ coefficients
 
     # ------------------------------------------------------------------
@@ -237,13 +281,43 @@ class ClusteredChannel:
         measurements. Used by the harness to compute the optimum ``R_opt``
         of the SNR-loss metric (Eq. 31).
         """
+        coupling = self.codebook_couplings(tx_codebook, rx_codebook)
+        tx_gains = np.abs(coupling.tx_proj) ** 2
+        rx_gains = (np.abs(coupling.rx_proj) ** 2).T
+        return self._snr * (tx_gains.T @ (self._powers[:, None] * rx_gains))
+
+    def codebook_couplings(
+        self,
+        tx_codebook: Codebook,
+        rx_codebook: Codebook,
+    ) -> CodebookCoupling:
+        """Precomputed per-subpath couplings of every codebook beam.
+
+        Memoized per codebook pair (codebooks are immutable), so the two
+        stacked GEMMs run once per channel realization no matter how many
+        measurements, schemes, or SNR-matrix evaluations consume them.
+        """
         if tx_codebook.array.num_elements != self._tx_array.num_elements:
             raise ValidationError("tx codebook does not match the TX array")
         if rx_codebook.array.num_elements != self._rx_array.num_elements:
             raise ValidationError("rx codebook does not match the RX array")
-        tx_gains = np.abs(self._tx_steering.conj().T @ tx_codebook.vectors) ** 2
-        rx_gains = np.abs(self._rx_steering.conj().T @ rx_codebook.vectors) ** 2
-        return self._snr * (tx_gains.T @ (self._powers[:, None] * rx_gains))
+        key = (id(tx_codebook), id(rx_codebook))
+        entry = self._couplings.get(key)
+        if (
+            entry is not None
+            and entry[0] is tx_codebook
+            and entry[1] is rx_codebook
+        ):
+            self._couplings.move_to_end(key)
+            return entry[2]
+        coupling = CodebookCoupling(
+            tx_proj=self._tx_steering.conj().T @ tx_codebook.vectors,
+            rx_proj=rx_codebook.vectors.conj().T @ self._rx_steering,
+        )
+        self._couplings[key] = (tx_codebook, rx_codebook, coupling)
+        while len(self._couplings) > 4:
+            self._couplings.popitem(last=False)
+        return coupling
 
     def optimal_pair(
         self,

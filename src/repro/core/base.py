@@ -49,6 +49,7 @@ class AlignmentContext:
         self._engine = engine
         self._budget = budget
         self._measured: Dict[BeamPair, Measurement] = {}
+        self._measured_by_tx: Dict[int, Set[int]] = {}
         self._trace: List[Measurement] = []
 
     # -- accessors ------------------------------------------------------
@@ -105,10 +106,14 @@ class AlignmentContext:
         return pair in self._measured
 
     def measured_rx_beams(self, tx_index: int) -> Set[int]:
-        """RX beams already paired with ``tx_index`` (for dedup)."""
-        return {
-            pair.rx_index for pair in self._measured if pair.tx_index == tx_index
-        }
+        """RX beams already paired with ``tx_index`` (for dedup).
+
+        Served from an index maintained per measurement, so schemes that
+        consult it every slot pay O(measured for this TX) instead of
+        scanning every measured pair. Returns a copy; mutating it never
+        affects the context.
+        """
+        return set(self._measured_by_tx.get(tx_index, ()))
 
     def measure(self, pair: BeamPair, slot: Optional[int] = None) -> Measurement:
         """Measure a codebook pair: charges budget, forbids repeats."""
@@ -119,6 +124,7 @@ class AlignmentContext:
             self._tx_codebook, self._rx_codebook, pair, slot=slot
         )
         self._measured[pair] = measurement
+        self._measured_by_tx.setdefault(pair.tx_index, set()).add(pair.rx_index)
         self._trace.append(measurement)
         return measurement
 

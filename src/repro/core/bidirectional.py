@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.arrays.codebook import Codebook
 from repro.core.base import AlignmentContext, BeamAlignmentAlgorithm
+from repro.core.proposed import _available_beams
 from repro.core.result import AlignmentResult, SlotRecord
 from repro.estimation.base import CovarianceEstimator
 from repro.estimation.ml_covariance import MlCovarianceEstimator
@@ -190,9 +191,10 @@ class BidirectionalAlignment(BeamAlignmentAlgorithm):
         fresh = [index for index in candidates if index not in used] or candidates
         if dwell_estimate is not None:
             gains = dwell_codebook.gains(dwell_estimate)
-            best = max(fresh, key=lambda idx: gains[idx])
+            fresh_array = np.asarray(fresh)
+            best = int(fresh_array[np.argmax(gains[fresh_array])])
             if gains[best] > gain_floor:
-                return int(best)
+                return best
         return int(rng.choice(fresh))
 
     def _select_probes(
@@ -206,9 +208,7 @@ class BidirectionalAlignment(BeamAlignmentAlgorithm):
     ) -> List[int]:
         if count <= 0:
             return []
-        candidates = [
-            index for index in range(codebook.num_beams) if index not in measured
-        ]
+        candidates = _available_beams(codebook.num_beams, measured)
         count = min(count, len(candidates))
         chosen: List[int] = []
         if estimate is not None:
@@ -216,11 +216,12 @@ class BidirectionalAlignment(BeamAlignmentAlgorithm):
             greedy_budget = count - reserved
             if greedy_budget > 0:
                 gains = codebook.gains(estimate)
-                ranked = sorted(candidates, key=lambda idx: -gains[idx])
-                chosen.extend(
-                    idx for idx in ranked[:greedy_budget] if gains[idx] > gain_floor
-                )
-        remaining = [index for index in candidates if index not in chosen]
+                order = np.argsort(-gains[candidates], kind="stable")
+                ranked = candidates[order[:greedy_budget]]
+                chosen.extend(int(idx) for idx in ranked[gains[ranked] > gain_floor])
+        remaining = candidates
+        if chosen:
+            remaining = candidates[~np.isin(candidates, chosen)]
         fill = count - len(chosen)
         if fill > 0:
             extra = rng.choice(remaining, size=fill, replace=False)
@@ -235,14 +236,12 @@ class BidirectionalAlignment(BeamAlignmentAlgorithm):
         gain_floor: float,
         rng: np.random.Generator,
     ) -> int:
-        candidates = [
-            index for index in range(codebook.num_beams) if index not in exclude
-        ]
-        if not candidates:
+        candidates = _available_beams(codebook.num_beams, exclude)
+        if len(candidates) == 0:
             raise ValidationError("no beam available for the decided measurement")
         if estimate is not None:
             gains = codebook.gains(estimate)
-            best = max(candidates, key=lambda idx: gains[idx])
+            best = int(candidates[np.argmax(gains[candidates])])
             if gains[best] > gain_floor:
-                return int(best)
+                return best
         return int(rng.choice(candidates))

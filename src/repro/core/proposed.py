@@ -52,6 +52,15 @@ __all__ = ["ProposedAlignment"]
 EstimatorFactory = Callable[[], CovarianceEstimator]
 
 
+def _available_beams(num_beams: int, excluded: Set[int]) -> np.ndarray:
+    """Ascending indices of the beams not in ``excluded``."""
+    if not excluded:
+        return np.arange(num_beams)
+    mask = np.ones(num_beams, dtype=bool)
+    mask[list(excluded)] = False
+    return np.flatnonzero(mask)
+
+
 class ProposedAlignment(BeamAlignmentAlgorithm):
     """Adaptive, covariance-estimation-guided beam alignment.
 
@@ -211,9 +220,7 @@ class ProposedAlignment(BeamAlignmentAlgorithm):
         """
         if count <= 0:
             return []
-        candidates = [
-            index for index in range(rx_codebook.num_beams) if index not in measured_rx
-        ]
+        candidates = _available_beams(rx_codebook.num_beams, measured_rx)
         count = min(count, len(candidates))
         chosen: List[int] = []
         if previous_estimate is not None:
@@ -221,11 +228,14 @@ class ProposedAlignment(BeamAlignmentAlgorithm):
             greedy_budget = count - reserved_random
             if greedy_budget > 0:
                 gains = rx_codebook.gains(previous_estimate)
-                ranked = sorted(candidates, key=lambda idx: -gains[idx])
-                chosen.extend(
-                    idx for idx in ranked[:greedy_budget] if gains[idx] > gain_floor
-                )
-        remaining = [index for index in candidates if index not in chosen]
+                # Stable argsort on the ascending candidate list matches the
+                # previous sorted(..., key=-gain) tie-breaking exactly.
+                order = np.argsort(-gains[candidates], kind="stable")
+                ranked = candidates[order[:greedy_budget]]
+                chosen.extend(int(idx) for idx in ranked[gains[ranked] > gain_floor])
+        remaining = candidates
+        if chosen:
+            remaining = candidates[~np.isin(candidates, chosen)]
         fill = count - len(chosen)
         if fill > 0:
             extra = rng.choice(remaining, size=fill, replace=False)
@@ -241,14 +251,12 @@ class ProposedAlignment(BeamAlignmentAlgorithm):
         rng: np.random.Generator,
     ) -> int:
         """The J-th measurement direction (Eq. 26) with the detection floor."""
-        candidates = [
-            index for index in range(rx_codebook.num_beams) if index not in exclude
-        ]
-        if not candidates:
+        candidates = _available_beams(rx_codebook.num_beams, exclude)
+        if len(candidates) == 0:
             raise ValidationError("no RX beam available for the decided measurement")
         if estimate is not None:
             gains = rx_codebook.gains(estimate)
-            best = max(candidates, key=lambda idx: gains[idx])
+            best = int(candidates[np.argmax(gains[candidates])])
             if gains[best] > gain_floor:
-                return int(best)
+                return best
         return int(rng.choice(candidates))

@@ -34,7 +34,7 @@ Algorithm 1 needs from the estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -43,10 +43,35 @@ from repro.estimation.likelihood import nll_value_and_gradient
 from repro.mc.operators import QuadraticFormOperator
 from repro.mc.result import SolverResult
 from repro.obs import get_recorder
-from repro.utils.linalg import hermitian, project_psd, soft_threshold_eigenvalues
+from repro.utils.linalg import hermitian, project_psd
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = ["MlCovarianceEstimator", "estimate_ml_covariance"]
+
+try:  # numpy-internal eigh gufunc; guarded by the public fallback below
+    from numpy.linalg import _umath_linalg as _umath
+    _EIGH_LOWER = _umath.eigh_lo
+except (ImportError, AttributeError):  # pragma: no cover - numpy internals moved
+    _EIGH_LOWER = None
+
+
+def _soft_threshold_hot(matrix: np.ndarray, threshold: float) -> np.ndarray:
+    """Line-search prox: :func:`soft_threshold_eigenvalues` minus the guards.
+
+    The solver calls this once per line-search candidate on a small
+    reduced matrix, where the public helper's defensive re-symmetrization
+    and wrapper overhead cost as much as the decomposition itself. The
+    iterates here are Hermitian by construction (``eigh`` reads only the
+    lower triangle and reconstruction is ``V diag(s) V^H``), so the
+    guards are redundant; the final solution is still re-symmetrized once
+    in :func:`_solve`.
+    """
+    if _EIGH_LOWER is not None and matrix.dtype == np.complex128:
+        values, vectors = _EIGH_LOWER(matrix, signature="D->dD")
+    else:
+        values, vectors = np.linalg.eigh(matrix)
+    shrunk = np.clip(values - threshold, 0.0, None)
+    return (vectors * shrunk) @ vectors.conj().T
 
 
 def _initial_estimate(
@@ -68,12 +93,24 @@ def _reduction_basis(
     probes: np.ndarray,
     initial: Optional[np.ndarray],
     warm_rank: int,
+    initial_eig: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> np.ndarray:
-    """Orthonormal basis of ``span{probes, top eigvecs of initial}``."""
+    """Orthonormal basis of ``span{probes, top eigvecs of initial}``.
+
+    ``initial_eig`` — a precomputed ``(eigenvalues desc, eigenvectors)``
+    of ``initial`` — skips the full-size eigendecomposition, the dominant
+    cost of a warm-started solve. The warm-started estimator carries the
+    previous solve's lifted eigendecomposition here, so consecutive slots
+    never re-decompose the ``n x n`` estimate.
+    """
     columns = [probes]
     if initial is not None:
-        values, vectors = np.linalg.eigh(hermitian(initial))
-        order = np.argsort(values)[::-1]
+        if initial_eig is not None:
+            values, vectors = initial_eig
+            order = np.arange(len(values))
+        else:
+            values, vectors = np.linalg.eigh(hermitian(initial))
+            order = np.argsort(values)[::-1]
         keep = [i for i in order[:warm_rank] if values[i] > 0]
         if keep:
             columns.append(vectors[:, keep])
@@ -98,6 +135,7 @@ def estimate_ml_covariance(
     min_step: float = 1e-12,
     subspace: bool = True,
     warm_rank: int = 8,
+    initial_eig: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> SolverResult:
     """Run the projected proximal-gradient solver; returns a SolverResult.
 
@@ -119,6 +157,11 @@ def estimate_ml_covariance(
         Enable the exact subspace reduction described in the module
         docstring; ``warm_rank`` bounds how many eigen-directions of the
         warm start join the basis.
+    initial_eig:
+        Precomputed eigendecomposition of ``initial`` (eigenvalues
+        descending). When the warm start came out of a previous
+        subspace-reduced solve, its ``solution_eig`` goes here and the
+        basis construction skips the ``n x n`` eigendecomposition.
     """
     mu = check_nonnegative(mu, "mu")
     noise_variance = check_positive(noise_variance, "noise_variance")
@@ -129,7 +172,7 @@ def estimate_ml_covariance(
 
     basis: Optional[np.ndarray] = None
     if subspace:
-        candidate = _reduction_basis(probes, initial, warm_rank)
+        candidate = _reduction_basis(probes, initial, warm_rank, initial_eig)
         if candidate.shape[1] < dimension:
             basis = candidate
 
@@ -140,6 +183,7 @@ def estimate_ml_covariance(
         measurements=probes.shape[1],
         reduced_dimension=basis.shape[1] if basis is not None else dimension,
         warm_start=initial is not None,
+        basis_reused=initial_eig is not None,
     ) as span:
         if basis is not None:
             reduced_probes = basis.conj().T @ probes
@@ -158,7 +202,14 @@ def estimate_ml_covariance(
                 backtrack,
                 min_step,
             )
-            result.solution = hermitian(basis @ result.solution @ basis.conj().T)
+            reduced_solution = hermitian(result.solution)
+            small_values, small_vectors = np.linalg.eigh(reduced_solution)
+            order = np.argsort(small_values)[::-1]
+            result.solution_eig = (
+                small_values[order],
+                basis @ small_vectors[:, order],
+            )
+            result.solution = hermitian(basis @ reduced_solution @ basis.conj().T)
         else:
             result = _solve(
                 probes,
@@ -206,22 +257,26 @@ def _solve(
     value, gradient = nll_value_and_gradient(
         current, operator, powers, 1.0, offsets=offsets
     )
+    # Inputs are validated by the first evaluation above; the line-search
+    # evaluations below run the unchecked fast path (identical numerics).
     history = [penalized(current, value)]
     step = initial_step
     converged = False
     iteration = 0
+    current_norm = float(np.linalg.norm(current))
     recorder = get_recorder()
     for iteration in range(1, max_iterations + 1):
         accepted = False
         while step >= min_step:
-            candidate = soft_threshold_eigenvalues(current - step * gradient, mu * step)
+            candidate = _soft_threshold_hot(current - step * gradient, mu * step)
             difference = candidate - current
+            difference_norm = float(np.linalg.norm(difference))
             quadratic_gap = float(
                 np.real(np.vdot(gradient, difference))
-                + np.linalg.norm(difference) ** 2 / (2.0 * step)
+                + difference_norm**2 / (2.0 * step)
             )
             candidate_value, candidate_gradient = nll_value_and_gradient(
-                candidate, operator, powers, 1.0, offsets=offsets
+                candidate, operator, powers, 1.0, offsets=offsets, validate=False
             )
             if candidate_value <= value + quadratic_gap + 1e-12:
                 accepted = True
@@ -229,9 +284,8 @@ def _solve(
             step *= backtrack
         if not accepted:
             break
-        change = float(
-            np.linalg.norm(candidate - current) / max(1.0, np.linalg.norm(current))
-        )
+        change = difference_norm / max(1.0, current_norm)
+        current_norm = float(np.linalg.norm(candidate))
         current, value, gradient = candidate, candidate_value, candidate_gradient
         history.append(penalized(current, value))
         if recorder.enabled:
@@ -263,14 +317,22 @@ class MlCovarianceEstimator(CovarianceEstimator):
 
     ``warm_start`` (settable between calls) carries the previous TX-slot's
     estimate into the next solve, matching the integrated design of
-    Sec. IV-C.
+    Sec. IV-C. With ``reuse_basis`` (the default) the previous solve's
+    lifted eigendecomposition rides along as well, so warm-started solves
+    skip the full-size eigendecomposition when building the reduction
+    basis — the dominant per-slot cost. The reuse is dropped automatically
+    whenever ``warm_start`` is replaced from outside, so a hand-planted
+    warm start is never paired with a stale eigendecomposition.
 
     Solver diagnostics that used to be computed then dropped are kept on
     the instance: ``last_result`` is the full :class:`SolverResult` of the
     most recent :meth:`estimate` call (iterations, convergence flag,
     penalized-NLL trajectory), and ``num_solves`` / ``total_iterations`` /
     ``num_converged`` accumulate across calls for run-level reporting
-    (``repro align`` prints them).
+    (``repro align`` prints them). ``warm_solves`` / ``cold_solves`` and
+    their iteration tallies split the same totals by whether a solve
+    started from a carried-over estimate; :attr:`iterations_saved`
+    estimates how many solver iterations warm-starting avoided.
     """
 
     mu: float = 0.05
@@ -278,6 +340,7 @@ class MlCovarianceEstimator(CovarianceEstimator):
     tolerance: float = 1e-4
     subspace: bool = True
     warm_rank: int = 8
+    reuse_basis: bool = True
     warm_start: Optional[np.ndarray] = None
     last_result: Optional[SolverResult] = field(
         default=None, init=False, repr=False, compare=False
@@ -285,6 +348,33 @@ class MlCovarianceEstimator(CovarianceEstimator):
     num_solves: int = field(default=0, init=False, repr=False, compare=False)
     total_iterations: int = field(default=0, init=False, repr=False, compare=False)
     num_converged: int = field(default=0, init=False, repr=False, compare=False)
+    warm_solves: int = field(default=0, init=False, repr=False, compare=False)
+    cold_solves: int = field(default=0, init=False, repr=False, compare=False)
+    warm_iterations: int = field(default=0, init=False, repr=False, compare=False)
+    cold_iterations: int = field(default=0, init=False, repr=False, compare=False)
+    _warm_eig: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _warm_eig_for: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def iterations_saved(self) -> float:
+        """Estimated solver iterations avoided by warm-starting.
+
+        Warm and cold solves of the same run face statistically identical
+        problems, so the cold-solve mean (falling back to the iteration
+        cap before any cold solve finished) serves as the counterfactual
+        cost of each warm solve.
+        """
+        if self.warm_solves == 0:
+            return 0.0
+        if self.cold_solves > 0:
+            cold_mean = self.cold_iterations / self.cold_solves
+        else:
+            cold_mean = float(self.max_iterations)
+        return max(0.0, cold_mean * self.warm_solves - self.warm_iterations)
 
     def estimate(
         self,
@@ -293,6 +383,14 @@ class MlCovarianceEstimator(CovarianceEstimator):
         noise_variance: float,
     ) -> np.ndarray:
         self._check_inputs(probes, powers)
+        warm = self.warm_start is not None
+        initial_eig = None
+        if (
+            self.reuse_basis
+            and self._warm_eig is not None
+            and self._warm_eig_for is self.warm_start
+        ):
+            initial_eig = self._warm_eig
         result = estimate_ml_covariance(
             probes,
             powers,
@@ -303,19 +401,39 @@ class MlCovarianceEstimator(CovarianceEstimator):
             initial=self.warm_start,
             subspace=self.subspace,
             warm_rank=self.warm_rank,
+            initial_eig=initial_eig,
         )
+        # Freeze the estimate: downstream gain caches key read-only
+        # covariances by identity, and nobody may mutate a shared warm
+        # start in place.
+        result.solution.setflags(write=False)
         self.warm_start = result.solution
+        self._warm_eig = result.solution_eig if self.reuse_basis else None
+        self._warm_eig_for = result.solution if self.reuse_basis else None
         self.last_result = result
         self.num_solves += 1
         self.total_iterations += result.iterations
         self.num_converged += int(result.converged)
+        if warm:
+            self.warm_solves += 1
+            self.warm_iterations += result.iterations
+        else:
+            self.cold_solves += 1
+            self.cold_iterations += result.iterations
         recorder = get_recorder()
         if recorder.enabled:
             recorder.increment("estimator.ml.solves")
             recorder.increment("estimator.ml.iterations", result.iterations)
             recorder.increment("estimator.ml.converged", int(result.converged))
+            kind = "warm" if warm else "cold"
+            recorder.increment(f"estimator.ml.{kind}_solves")
+            recorder.increment(f"estimator.ml.{kind}_iterations", result.iterations)
+            if initial_eig is not None:
+                recorder.increment("estimator.ml.basis_reused")
         return result.solution
 
     def reset(self) -> None:
         """Forget the warm start (new channel / new alignment run)."""
         self.warm_start = None
+        self._warm_eig = None
+        self._warm_eig_for = None

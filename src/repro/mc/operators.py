@@ -118,6 +118,7 @@ class QuadraticFormOperator:
                 f"probes must be an (n, m) matrix of probe columns, got {probes.shape}"
             )
         self._probes = probes
+        self._probes_conj = probes.conj()
 
     @property
     def probes(self) -> np.ndarray:
@@ -141,7 +142,7 @@ class QuadraticFormOperator:
             raise ValidationError(
                 f"matrix must be {self.dimension}x{self.dimension}, got {matrix.shape}"
             )
-        return np.real(np.einsum("nm,nk,km->m", self._probes.conj(), matrix, self._probes))
+        return np.real(np.einsum("nm,nk,km->m", self._probes_conj, matrix, self._probes))
 
     def adjoint(self, weights: np.ndarray) -> np.ndarray:
         """``sum_j w_j v_j v_j^H`` — the adjoint under the real inner product."""
@@ -151,7 +152,7 @@ class QuadraticFormOperator:
                 f"weights must have shape ({self.num_measurements},), got {weights.shape}"
             )
         weighted = self._probes * weights
-        return hermitian(weighted @ self._probes.conj().T)
+        return hermitian(weighted @ self._probes_conj.T)
 
     def lipschitz_bound(self) -> float:
         """An upper bound on ``||A||^2 = ||A^* A||`` for step-size selection.

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -22,6 +22,12 @@ class SolverResult:
     partially-converged covariance estimate still usefully guides beam
     selection; callers that need a hard guarantee call
     :meth:`raise_if_failed`.
+
+    ``solution_eig``, when a solver can produce it as a by-product (the
+    subspace-reduced ML covariance solver lifts its small-matrix
+    eigendecomposition), holds ``(eigenvalues, eigenvectors)`` of the
+    solution with eigenvalues descending — warm-started follow-up solves
+    reuse it instead of re-decomposing the full-size matrix.
     """
 
     solution: np.ndarray
@@ -29,6 +35,9 @@ class SolverResult:
     converged: bool
     objective: float
     history: List[float] = field(default_factory=list)
+    solution_eig: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def raise_if_failed(self, context: str = "solver") -> "SolverResult":
         """Raise :class:`ConvergenceError` unless the solver converged."""

@@ -134,6 +134,37 @@ class MeasurementEngine:
         faded = self._channel.sample_beamformed(
             tx_beam, rx_beam, self._rng, count=self._fading_blocks
         )
+        return self._finish_measurement(faded, pair, slot)
+
+    def measure_pair(
+        self,
+        tx_codebook: Codebook,
+        rx_codebook: Codebook,
+        pair: BeamPair,
+        slot: Optional[int] = None,
+    ) -> Measurement:
+        """Measure a codebook beam pair, tagging the record with its indices.
+
+        Codebook beams are unit-norm by construction, so this path skips
+        the per-dwell norm checks and projects through the channel's
+        memoized :class:`~repro.channel.base.CodebookCoupling` table —
+        the per-trial hot loop costs one ``K``-dimensional fading draw
+        per dwell instead of two array-sized projections.
+        """
+        coupling = self._channel.codebook_couplings(tx_codebook, rx_codebook)
+        coefficients = coupling.coefficients(pair.tx_index, pair.rx_index)
+        faded = self._channel.sample_coefficients(
+            coefficients, self._rng, count=self._fading_blocks
+        )
+        return self._finish_measurement(faded, pair, slot)
+
+    def _finish_measurement(
+        self,
+        faded: np.ndarray,
+        pair: Optional[BeamPair],
+        slot: Optional[int],
+    ) -> Measurement:
+        """Add noise (and any interference), meter, and package a dwell."""
         noise = complex_normal(
             self._rng, self._fading_blocks, variance=self.noise_variance
         )
@@ -150,21 +181,6 @@ class MeasurementEngine:
         self._count += 1
         return Measurement(
             power=float(np.mean(np.abs(samples) ** 2)), z=z, pair=pair, slot=slot
-        )
-
-    def measure_pair(
-        self,
-        tx_codebook: Codebook,
-        rx_codebook: Codebook,
-        pair: BeamPair,
-        slot: Optional[int] = None,
-    ) -> Measurement:
-        """Measure a codebook beam pair, tagging the record with its indices."""
-        return self.measure_vectors(
-            tx_codebook.beam(pair.tx_index),
-            rx_codebook.beam(pair.rx_index),
-            slot=slot,
-            pair=pair,
         )
 
     def expected_power(self, tx_beam: np.ndarray, rx_beam: np.ndarray) -> float:

@@ -99,7 +99,10 @@ class MetricsRegistry:
     def summary(self) -> Dict[str, Any]:
         """Aggregated view: per-timer stats plus raw counters and gauges."""
         return {
-            "timers": {name: timer_stats(samples) for name, samples in sorted(self._timers.items())},
+            "timers": {
+                name: timer_stats(samples)
+                for name, samples in sorted(self._timers.items())
+            },
             "counters": dict(sorted(self._counters.items())),
             "gauges": dict(sorted(self._gauges.items())),
         }

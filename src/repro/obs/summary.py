@@ -92,7 +92,10 @@ def render_trace_summary(summary: Mapping[str, Any], title: str = "Trace summary
 
     spans = summary.get("spans", {})
     if spans:
-        lines.append(f"{'span':32s} {'count':>7s} {'total':>11s} {'mean':>11s} {'p50':>11s} {'p95':>11s}")
+        lines.append(
+            f"{'span':32s} {'count':>7s} {'total':>11s}"
+            f" {'mean':>11s} {'p50':>11s} {'p95':>11s}"
+        )
         for name, stats in spans.items():
             lines.append(
                 f"{name[:32]:32s} {stats['count']:7d}"

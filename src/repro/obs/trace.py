@@ -135,6 +135,8 @@ def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
             except json.JSONDecodeError as error:
                 raise ValueError(f"{path}:{line_number}: malformed trace line: {error}") from None
             if not isinstance(record, dict) or "type" not in record:
-                raise ValueError(f"{path}:{line_number}: trace records must be objects with a 'type'")
+                raise ValueError(
+                    f"{path}:{line_number}: trace records must be objects with a 'type'"
+                )
             records.append(record)
     return records

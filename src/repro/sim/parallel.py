@@ -18,6 +18,8 @@ worker count.
 from __future__ import annotations
 
 import functools
+import math
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -103,7 +105,19 @@ class ParallelOutcome:
 @functools.lru_cache(maxsize=8)
 def _scenario_for(config: ScenarioConfig) -> Scenario:
     """Per-process scenario cache (codebooks are immutable)."""
-    return Scenario(config)
+    scenario = Scenario(config)
+    scenario.context()  # precompute the shared pair table once per process
+    return scenario
+
+
+def _worker_init(config: ScenarioConfig) -> None:
+    """Pool initializer: build the scenario context before any task runs.
+
+    Codebook construction is the dominant per-process setup cost; doing
+    it in the initializer moves it off the first task's critical path and
+    guarantees every task — batched or not — hits a warm cache.
+    """
+    _scenario_for(config)
 
 
 def _run_one_trial(
@@ -150,6 +164,67 @@ def _run_one_trial(
     )
 
 
+def _run_trial_batch(
+    config: ScenarioConfig,
+    specs: Tuple[SchemeSpec, ...],
+    search_rate: float,
+    base_seed: int,
+    trial_indices: Tuple[int, ...],
+    collect_metrics: bool = False,
+) -> Tuple[List[Dict[str, ParallelOutcome]], Optional[Dict[str, Any]]]:
+    """Worker entry point: several trials amortizing one task dispatch.
+
+    Batching cuts the per-task pickling/dispatch overhead (config, specs,
+    and results cross the process boundary once per batch instead of once
+    per trial) while determinism is untouched: trial ``k`` still draws
+    from ``trial_generator(base_seed, k)`` no matter which batch — or
+    process — it lands in. Metrics snapshots are likewise merged once per
+    batch.
+    """
+    scenario = _scenario_for(config)
+    schemes = {spec.name: spec.build_factory() for spec in specs}
+    batch_results: List[Dict[str, ParallelOutcome]] = []
+
+    def _run_all() -> None:
+        for trial_index in trial_indices:
+            outcomes = run_trial(
+                scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
+            )
+            batch_results.append(
+                {
+                    name: ParallelOutcome(
+                        algorithm=name,
+                        loss_db=outcome.loss_db,
+                        measurements_used=outcome.result.measurements_used,
+                        selected=outcome.result.selected,
+                        optimal_snr=outcome.evaluation.optimal_snr,
+                    )
+                    for name, outcome in outcomes.items()
+                }
+            )
+
+    metrics_snapshot: Optional[Dict[str, Any]] = None
+    if collect_metrics:
+        worker_recorder = MetricsRecorder()
+        with use_recorder(worker_recorder):
+            _run_all()
+        metrics_snapshot = worker_recorder.metrics.snapshot()
+    else:
+        _run_all()
+    return batch_results, metrics_snapshot
+
+
+def _auto_batch_size(num_trials: int, max_workers: Optional[int]) -> int:
+    """Batch size balancing dispatch overhead against load balancing.
+
+    Aim for roughly four batches per worker so a straggler batch cannot
+    idle the pool for long, while still amortizing dispatch across
+    multiple trials. Clamped to [1, 32].
+    """
+    workers = max_workers or os.cpu_count() or 1
+    return max(1, min(32, math.ceil(num_trials / (4 * workers))))
+
+
 def run_trials_parallel(
     config: ScenarioConfig,
     specs: Sequence[SchemeSpec],
@@ -158,6 +233,7 @@ def run_trials_parallel(
     base_seed: int = 0,
     max_workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    batch_size: Optional[int] = None,
 ) -> List[Dict[str, ParallelOutcome]]:
     """Run ``num_trials`` independent trials across worker processes.
 
@@ -165,9 +241,16 @@ def run_trials_parallel(
     unavailable) the trials run in the current process through the same
     code path, so results are identical either way.
 
+    Trials are dispatched in contiguous batches (``batch_size``, default
+    auto-sized to about four batches per worker) so pickling and task
+    dispatch are paid per batch, not per trial; the pool initializer
+    pre-builds the shared scenario context in every worker. Trial ``k``
+    always draws from ``trial_generator(base_seed, k)``, so outcomes are
+    identical for every worker count and batch size.
+
     When an enabled recorder is active in the parent, each worker collects
     a local metrics registry and the snapshots are merged into the
-    parent's registry as trials complete, so solver iteration counts and
+    parent's registry as batches complete, so solver iteration counts and
     span timings survive the process boundary. ``progress`` receives
     throttled completion/ETA updates.
     """
@@ -179,6 +262,8 @@ def run_trials_parallel(
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate scheme names in specs: {names}")
+    if batch_size is not None and batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
 
     recorder = get_recorder()
     reporter = ProgressReporter(num_trials, progress, label="trials")
@@ -197,9 +282,19 @@ def run_trials_parallel(
                 reporter.update()
         return results
 
+    size = batch_size if batch_size is not None else _auto_batch_size(
+        num_trials, max_workers
+    )
+    batches = [
+        tuple(range(start, min(start + size, num_trials)))
+        for start in range(0, num_trials, size)
+    ]
     logger.debug(
-        "run_trials_parallel: %d trials, max_workers=%s, collect_metrics=%s",
+        "run_trials_parallel: %d trials in %d batches of <=%d, max_workers=%s,"
+        " collect_metrics=%s",
         num_trials,
+        len(batches),
+        size,
         max_workers,
         collect,
     )
@@ -207,22 +302,32 @@ def run_trials_parallel(
         "run_trials_parallel",
         num_trials=num_trials,
         workers=max_workers or 0,
+        batch_size=size,
         search_rate=search_rate,
     ) as span:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=_worker_init, initargs=(config,)
+        ) as pool:
             futures = [
                 pool.submit(
-                    _run_one_trial, config, specs, search_rate, base_seed, trial, collect
+                    _run_trial_batch,
+                    config,
+                    specs,
+                    search_rate,
+                    base_seed,
+                    batch,
+                    collect,
                 )
-                for trial in range(num_trials)
+                for batch in batches
             ]
             results = []
-            for trial, future in enumerate(futures):
-                outcomes, snapshot = future.result()
-                results.append(outcomes)
+            for batch_index, future in enumerate(futures):
+                batch_outcomes, snapshot = future.result()
+                results.extend(batch_outcomes)
                 if collect and snapshot:
                     recorder.metrics.merge_snapshot(snapshot)
-                    recorder.event("parallel.trial_merged", trial=trial)
-                reporter.update()
-        span.annotate(merged_metrics=collect)
+                    recorder.event("parallel.batch_merged", batch=batch_index)
+                for _ in batch_outcomes:
+                    reporter.update()
+        span.annotate(merged_metrics=collect, num_batches=len(batches))
     return results

@@ -23,7 +23,6 @@ from repro.core.base import AlignmentContext, BeamAlignmentAlgorithm
 from repro.core.proposed import ProposedAlignment
 from repro.core.result import AlignmentResult
 from repro.exceptions import ConfigurationError
-from repro.measurement.budget import MeasurementBudget
 from repro.measurement.measurer import MeasurementEngine
 from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
 from repro.sim.metrics import PairEvaluation, evaluate_pair
@@ -81,10 +80,13 @@ def run_trial(
     if not schemes:
         raise ConfigurationError("run_trial needs at least one scheme")
     recorder = get_recorder()
+    shared = scenario.context()
     with recorder.span("trial", search_rate=search_rate) as trial_span:
         channel_rng, *scheme_rngs = spawn(rng, 1 + 2 * len(schemes))
         channel = scenario.sample_channel(channel_rng)
-        snr_matrix = channel.mean_snr_matrix(scenario.tx_codebook, scenario.rx_codebook)
+        # This both evaluates the trial's ground truth and warms the
+        # channel's codebook-coupling table that measure_pair reuses.
+        snr_matrix = channel.mean_snr_matrix(shared.tx_codebook, shared.rx_codebook)
 
         outcomes: Dict[str, TrialOutcome] = {}
         for index, (name, factory) in enumerate(schemes.items()):
@@ -93,9 +95,9 @@ def run_trial(
             engine = MeasurementEngine(
                 channel, engine_rng, fading_blocks=scenario.config.fading_blocks
             )
-            budget = MeasurementBudget.from_search_rate(scenario.total_pairs, search_rate)
+            budget = shared.make_budget(search_rate)
             context = AlignmentContext(
-                scenario.tx_codebook, scenario.rx_codebook, engine, budget
+                shared.tx_codebook, shared.rx_codebook, engine, budget
             )
             algorithm = factory(channel)
             with recorder.span(f"scheme.{name}") as scheme_span:

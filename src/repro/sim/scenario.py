@@ -33,6 +33,7 @@ class Scenario:
         self._rx_codebook = Codebook.grid(
             self._rx_array, n_azimuth=rx_cols, n_elevation=rx_rows, name="rx"
         )
+        self._context = None
 
     @property
     def config(self) -> ScenarioConfig:
@@ -63,6 +64,18 @@ class Scenario:
     def total_pairs(self) -> int:
         """``T`` of Eq. (1)."""
         return self._tx_codebook.num_beams * self._rx_codebook.num_beams
+
+    def context(self):
+        """The precomputed :class:`~repro.sim.context.ScenarioContext`.
+
+        Built lazily on first use and cached on the scenario, so every
+        trial run against this scenario shares one pair-index table.
+        """
+        if self._context is None:
+            from repro.sim.context import ScenarioContext
+
+            self._context = ScenarioContext.build(self)
+        return self._context
 
     def sample_channel(self, rng: np.random.Generator) -> ClusteredChannel:
         """Draw a channel realization of the configured family."""

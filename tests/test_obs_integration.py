@@ -144,7 +144,8 @@ class TestParallelMetricsMerge:
         recorder = MetricsRecorder()
         with use_recorder(recorder):
             trials = run_trials_parallel(
-                small_config, self.SPECS, 0.3, 3, base_seed=5, max_workers=2
+                small_config, self.SPECS, 0.3, 3, base_seed=5, max_workers=2,
+                batch_size=1,
             )
         expected = sum(t["Proposed"].measurements_used for t in trials)
         metrics = recorder.metrics
@@ -152,8 +153,8 @@ class TestParallelMetricsMerge:
         assert metrics.counter("scheme.Proposed.trials") == 3
         # worker-side solver telemetry survived the process boundary
         assert metrics.counter("estimator.ml.solves") > 0
-        # per-trial merge events were recorded in the parent
-        assert metrics.counter("parallel.trial_merged") == 3
+        # per-batch merge events were recorded in the parent
+        assert metrics.counter("parallel.batch_merged") == 3
 
     def test_parallel_matches_serial_with_recorder(self, small_config):
         plain = run_trials_parallel(
