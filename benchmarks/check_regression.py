@@ -17,6 +17,7 @@ Usage::
 
     python benchmarks/check_regression.py              # gate (exit 0/1)
     python benchmarks/check_regression.py --update     # refresh baseline
+    python benchmarks/check_regression.py --strict-new # fail on unbaselined benches
     python benchmarks/check_regression.py --inject-slowdown 2  # self-test
 
 Stdlib-only on purpose — the gate must run before (and regardless of)
@@ -101,6 +102,19 @@ def _scale(entries: Dict[str, Dict[str, float]]) -> Optional[float]:
     return None
 
 
+def new_labels(
+    baseline: Dict[str, Dict[str, float]],
+    session: Dict[str, Dict[str, float]],
+) -> List[str]:
+    """Session labels with no baseline entry (sorted; calibration excluded).
+
+    These run unguarded: a regression in one of them cannot fail the gate
+    until someone records it with ``--update``. ``--strict-new`` turns
+    their presence into a failure so new benchmarks land with a baseline.
+    """
+    return sorted(set(session) - set(baseline) - {CALIBRATION_LABEL})
+
+
 def compare(
     baseline: Dict[str, Dict[str, float]],
     session: Dict[str, Dict[str, float]],
@@ -109,9 +123,10 @@ def compare(
     """Regression messages (empty list = gate passes).
 
     Labels only present on one side are reported informationally on
-    stdout but never fail the gate: benchmark subsets (e.g. a micro-only
-    run) and newly added benchmarks must not break CI until the baseline
-    is refreshed.
+    stdout but never fail the gate by default: benchmark subsets (e.g. a
+    micro-only run) must not break CI, and newly added benchmarks are
+    named in a NEW summary — gate them with ``--strict-new`` or record
+    them with ``--update``.
     """
     base_scale = _scale(baseline)
     session_scale = _scale(session)
@@ -147,8 +162,14 @@ def compare(
                     f"{label} {stat} is {ratio:.2f}x the baseline"
                     f" (allowed {1.0 + threshold:.2f}x)"
                 )
-    for label in sorted(set(session) - set(baseline) - {CALIBRATION_LABEL}):
+    unbaselined = new_labels(baseline, session)
+    for label in unbaselined:
         print(f"  [new] {label}: no baseline yet (run --update to record)")
+    if unbaselined:
+        print(
+            f"NEW ({len(unbaselined)} unbaselined): {', '.join(unbaselined)}"
+            " — these are NOT gated until recorded with --update"
+        )
     return failures
 
 
@@ -178,6 +199,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--update",
         action="store_true",
         help="rewrite the baseline from this session's BENCH files",
+    )
+    parser.add_argument(
+        "--strict-new",
+        action="store_true",
+        help="also fail when session benches have no baseline entry",
     )
     parser.add_argument(
         "--inject-slowdown",
@@ -213,6 +239,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     baseline = load_baseline(args.baseline)
     failures = compare(baseline, session, args.threshold)
+    if args.strict_new:
+        failures.extend(
+            f"{label} has no baseline entry (record it with --update)"
+            for label in new_labels(baseline, session)
+        )
     if failures:
         print(f"\nbenchmark regression gate FAILED ({len(failures)}):")
         for failure in failures:

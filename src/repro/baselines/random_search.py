@@ -32,7 +32,7 @@ class RandomSearch(BeamAlignmentAlgorithm):
         limit = context.budget.remaining
         rx_beams = context.rx_codebook.num_beams
         flat_choices = rng.choice(total, size=limit, replace=False)
-        for flat in flat_choices:
-            tx_index, rx_index = divmod(int(flat), rx_beams)
-            context.measure(BeamPair(tx_index, rx_index))
+        context.measure_many(
+            [BeamPair(*divmod(int(flat), rx_beams)) for flat in flat_choices]
+        )
         return context.result(self.name)

@@ -61,17 +61,25 @@ class ScanSearch(BeamAlignmentAlgorithm):
         tx_step = int(rng.integers(0, n_tx))
         rx_step = int(rng.integers(0, n_rx))
 
+        # The walk is deterministic given the start, so the whole path is
+        # planned first and measured through one fused measure_many call.
         limit = context.budget.remaining
+        planned: List[BeamPair] = []
+        planned_set = set()
         for _ in range(limit):
             pair = BeamPair(tx_path[tx_step % n_tx], rx_path[rx_step % n_rx])
             attempts = 0
-            while context.is_measured(pair) and attempts < context.total_pairs:
+            while (
+                pair in planned_set or context.is_measured(pair)
+            ) and attempts < context.total_pairs:
                 tx_step += 1  # phase shift opens a fresh diagonal
                 pair = BeamPair(tx_path[tx_step % n_tx], rx_path[rx_step % n_rx])
                 attempts += 1
-            if context.is_measured(pair):
+            if pair in planned_set or context.is_measured(pair):
                 break  # every pair measured
-            context.measure(pair)
+            planned.append(pair)
+            planned_set.add(pair)
             tx_step += 1
             rx_step += 1
+        context.measure_many(planned)
         return context.result(self.name)

@@ -101,6 +101,13 @@ class ClusteredChannel:
         Target total path power (default 1.0). Pass ``None`` to keep the
         subpath powers as given, e.g. when they already embed a path-loss
         calculation from :mod:`repro.channel.pathloss`.
+    tx_steering, rx_steering:
+        Optional precomputed steering matrices (``(M, K)`` / ``(N, K)``,
+        subpath columns in order). The batched channel builder of
+        :mod:`repro.channel.batch` generates steering for a whole batch
+        of realizations in one concatenated GEMM and injects the slices
+        here; values must equal what :func:`steering_matrix` would
+        produce for the same subpath directions.
     """
 
     def __init__(
@@ -110,6 +117,9 @@ class ClusteredChannel:
         subpaths: Sequence[Subpath],
         snr: float = 100.0,
         total_power: Optional[float] = 1.0,
+        *,
+        tx_steering: Optional[np.ndarray] = None,
+        rx_steering: Optional[np.ndarray] = None,
     ) -> None:
         if len(subpaths) == 0:
             raise ValidationError("a channel needs at least one subpath")
@@ -129,12 +139,28 @@ class ClusteredChannel:
             Subpath(power=float(p), tx_direction=s.tx_direction, rx_direction=s.rx_direction)
             for p, s in zip(powers, subpaths)
         )
-        self._tx_steering = steering_matrix(
-            tx_array, [path.tx_direction for path in self._subpaths]
-        )
-        self._rx_steering = steering_matrix(
-            rx_array, [path.rx_direction for path in self._subpaths]
-        )
+        if tx_steering is not None:
+            if tx_steering.shape != (tx_array.num_elements, len(self._subpaths)):
+                raise ValidationError(
+                    f"tx_steering must be {(tx_array.num_elements, len(self._subpaths))},"
+                    f" got {tx_steering.shape}"
+                )
+            self._tx_steering = tx_steering
+        else:
+            self._tx_steering = steering_matrix(
+                tx_array, [path.tx_direction for path in self._subpaths]
+            )
+        if rx_steering is not None:
+            if rx_steering.shape != (rx_array.num_elements, len(self._subpaths)):
+                raise ValidationError(
+                    f"rx_steering must be {(rx_array.num_elements, len(self._subpaths))},"
+                    f" got {rx_steering.shape}"
+                )
+            self._rx_steering = rx_steering
+        else:
+            self._rx_steering = steering_matrix(
+                rx_array, [path.rx_direction for path in self._subpaths]
+            )
         self._sqrt_powers = np.sqrt(self._powers)
         # Codebook-coupling tables, keyed by codebook identity. Codebooks
         # are immutable and long-lived (they belong to the scenario), so
@@ -172,6 +198,16 @@ class ClusteredChannel:
     def powers(self) -> np.ndarray:
         """Subpath mean powers ``P_k``, shape ``(K,)``."""
         return self._powers.copy()
+
+    @property
+    def sqrt_powers(self) -> np.ndarray:
+        """``sqrt(P_k)`` per subpath, shape ``(K,)``.
+
+        The internal array backing :meth:`sample_coefficients`; exposed
+        for the measurement engine's fused multi-pair fading draw. Treat
+        as read-only.
+        """
+        return self._sqrt_powers
 
     @property
     def snr(self) -> float:
@@ -314,10 +350,40 @@ class ClusteredChannel:
             tx_proj=self._tx_steering.conj().T @ tx_codebook.vectors,
             rx_proj=rx_codebook.vectors.conj().T @ self._rx_steering,
         )
+        self._store_coupling(key, tx_codebook, rx_codebook, coupling)
+        return coupling
+
+    def prime_codebook_coupling(
+        self,
+        tx_codebook: Codebook,
+        rx_codebook: Codebook,
+        coupling: CodebookCoupling,
+    ) -> None:
+        """Seed the coupling memo with an externally computed table.
+
+        The batched channel builder computes coupling tables for a whole
+        batch of channels via stacked GEMMs; priming makes every later
+        :meth:`codebook_couplings` / :meth:`mean_snr_matrix` /
+        ``measure_pair`` call a memo hit. The caller guarantees the table
+        equals what :meth:`codebook_couplings` would compute.
+        """
+        if tx_codebook.array.num_elements != self._tx_array.num_elements:
+            raise ValidationError("tx codebook does not match the TX array")
+        if rx_codebook.array.num_elements != self._rx_array.num_elements:
+            raise ValidationError("rx codebook does not match the RX array")
+        key = (id(tx_codebook), id(rx_codebook))
+        self._store_coupling(key, tx_codebook, rx_codebook, coupling)
+
+    def _store_coupling(
+        self,
+        key: Tuple[int, int],
+        tx_codebook: Codebook,
+        rx_codebook: Codebook,
+        coupling: CodebookCoupling,
+    ) -> None:
         self._couplings[key] = (tx_codebook, rx_codebook, coupling)
         while len(self._couplings) > 4:
             self._couplings.popitem(last=False)
-        return coupling
 
     def optimal_pair(
         self,

@@ -6,6 +6,7 @@
     repro run fig6                  # regenerate a figure's series
     repro run fig6 --quick          # small/fast variant
     repro run fig6 --trials 50 --seed 7 --json out.json
+    repro run fig6 --batch-trials 32            # batched trial engine
     repro run fig6 --trace out.jsonl --progress  # JSONL trace + ETA lines
     repro trace summarize out.jsonl             # timing/convergence tables
     repro align --channel multipath --rate 0.1  # one alignment, verbose
@@ -81,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print throttled progress/ETA lines to stderr (sweep experiments)",
     )
+    run_cmd.add_argument(
+        "--batch-trials",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "run trials through the batched engine in blocks of B"
+            " (bit-identical seeded results; try 32)"
+        ),
+    )
     run_cmd.set_defaults(handler=_handle_run)
 
     report_cmd = commands.add_parser(
@@ -148,6 +159,14 @@ def _handle_run(args: argparse.Namespace) -> int:
         else:
             print(
                 f"note: experiment {args.experiment!r} does not report progress",
+                file=sys.stderr,
+            )
+    if args.batch_trials is not None:
+        if _accepts_kwarg(runner, "batch_trials"):
+            overrides["batch_trials"] = args.batch_trials
+        else:
+            print(
+                f"note: experiment {args.experiment!r} does not support batching",
                 file=sys.stderr,
             )
     with ExitStack() as stack:

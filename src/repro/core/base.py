@@ -128,6 +128,38 @@ class AlignmentContext:
         self._trace.append(measurement)
         return measurement
 
+    def measure_many(
+        self,
+        pairs: List[BeamPair],
+        slot: Optional[int] = None,
+    ) -> List[Measurement]:
+        """Measure several codebook pairs through one fused engine call.
+
+        Same dedup and metering semantics as calling :meth:`measure` per
+        pair, with one deliberate difference: the budget is charged for
+        the whole batch up front, so a batch that exceeds the remaining
+        allowance raises :class:`BudgetExhaustedError` *before* any of
+        its measurements is taken (callers size batches to the remaining
+        budget, as :meth:`measure` callers already size their loops).
+        Seeded results are bit-identical to the per-pair loop.
+        """
+        if not pairs:
+            return []
+        if len(set(pairs)) != len(pairs):
+            raise ValidationError("measure_many pairs must be distinct")
+        for pair in pairs:
+            if self.is_measured(pair):
+                raise ValidationError(f"pair {pair} was already measured")
+        self._budget.charge(len(pairs))
+        measurements = self._engine.measure_pairs(
+            self._tx_codebook, self._rx_codebook, pairs, slot=slot
+        )
+        for pair, measurement in zip(pairs, measurements):
+            self._measured[pair] = measurement
+            self._measured_by_tx.setdefault(pair.tx_index, set()).add(pair.rx_index)
+            self._trace.append(measurement)
+        return measurements
+
     def measure_vectors(
         self,
         tx_beam: np.ndarray,

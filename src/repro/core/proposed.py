@@ -145,10 +145,10 @@ class ProposedAlignment(BeamAlignmentAlgorithm):
             probe_beams = self._select_probe_beams(
                 rx_codebook, previous_estimate, probe_count, measured_rx, gain_floor, rng
             )
-            powers = []
-            for rx_index in probe_beams:
-                measurement = context.measure(BeamPair(tx_index, rx_index), slot=slot)
-                powers.append(measurement.power)
+            measurements = context.measure_many(
+                [BeamPair(tx_index, rx_index) for rx_index in probe_beams], slot=slot
+            )
+            powers = [measurement.power for measurement in measurements]
 
             decided_beam: Optional[int] = None
             estimate = previous_estimate

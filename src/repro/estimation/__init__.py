@@ -13,6 +13,10 @@ from repro.estimation.likelihood import (
     nll_gradient,
     nll_value_and_gradient,
 )
+from repro.estimation.batch import (
+    estimate_ml_covariance_batch,
+    soft_threshold_eigenvalues_batch,
+)
 from repro.estimation.ls_covariance import LsCovarianceEstimator
 from repro.estimation.music import music_beam_ranking, music_spectrum, noise_subspace
 from repro.estimation.ml_covariance import MlCovarianceEstimator, estimate_ml_covariance
@@ -34,5 +38,7 @@ __all__ = [
     "noise_subspace",
     "MlCovarianceEstimator",
     "estimate_ml_covariance",
+    "estimate_ml_covariance_batch",
+    "soft_threshold_eigenvalues_batch",
     "BackProjectionEstimator",
 ]

@@ -58,11 +58,18 @@ def _sweep(
     snr_db: float,
     measurements_per_slot: int,
     progress: Optional[ProgressCallback] = None,
+    batch_trials: Optional[int] = None,
 ) -> EffectivenessSweep:
     scenario = build_scenario(channel, snr_db=snr_db)
     schemes = standard_schemes(measurements_per_slot=measurements_per_slot)
     return effectiveness_sweep(
-        scenario, schemes, search_rates, num_trials, base_seed=base_seed, progress=progress
+        scenario,
+        schemes,
+        search_rates,
+        num_trials,
+        base_seed=base_seed,
+        progress=progress,
+        batch_trials=batch_trials,
     )
 
 
@@ -77,14 +84,27 @@ def run_effectiveness_experiment(
     measurements_per_slot: int = 8,
     quick: bool = False,
     progress: Optional[ProgressCallback] = None,
+    batch_trials: Optional[int] = None,
 ) -> ExperimentResult:
-    """Figures 5/6: SNR loss vs search rate for Random/Scan/Proposed."""
+    """Figures 5/6: SNR loss vs search rate for Random/Scan/Proposed.
+
+    ``batch_trials`` runs the sweep through the batched trial engine
+    (bit-identical seeded results, one stacked channel/solver program per
+    block of that many trials).
+    """
     if quick:
         num_trials = min(num_trials, 4)
         search_rates = search_rates or (0.10, 0.20)
     rates = list(search_rates or DEFAULT_SEARCH_RATES)
     sweep = _sweep(
-        channel, rates, num_trials, base_seed, snr_db, measurements_per_slot, progress
+        channel,
+        rates,
+        num_trials,
+        base_seed,
+        snr_db,
+        measurements_per_slot,
+        progress,
+        batch_trials=batch_trials,
     )
     data: Dict[str, object] = {
         "search_rates": rates,
@@ -118,6 +138,7 @@ def run_cost_experiment(
     measurements_per_slot: int = 8,
     quick: bool = False,
     progress: Optional[ProgressCallback] = None,
+    batch_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 7/8: required search rate vs target SNR loss."""
     if quick:
@@ -127,7 +148,14 @@ def run_cost_experiment(
     rates = list(search_rates or DEFAULT_SEARCH_RATES)
     targets = list(target_losses_db or DEFAULT_TARGET_LOSSES_DB)
     sweep = _sweep(
-        channel, rates, num_trials, base_seed, snr_db, measurements_per_slot, progress
+        channel,
+        rates,
+        num_trials,
+        base_seed,
+        snr_db,
+        measurements_per_slot,
+        progress,
+        batch_trials=batch_trials,
     )
     curve = required_search_rates(sweep, targets)
     data: Dict[str, object] = {

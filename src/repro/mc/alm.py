@@ -43,13 +43,49 @@ class RpcaResult:
     residual_history: List[float] = field(default_factory=list)
 
 
-def soft_threshold_entries(matrix: np.ndarray, threshold: float) -> np.ndarray:
-    """Entrywise complex soft-thresholding (prox of the l1 norm)."""
+def soft_threshold_entries(
+    matrix: np.ndarray,
+    threshold: float,
+    workspace: Optional[dict] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Entrywise complex soft-thresholding (prox of the l1 norm).
+
+    ``workspace`` is a caller-kept dict whose float scratch buffers are
+    reused across calls, and ``out`` receives the result in place — hot
+    loops (one call per IALM iteration) then allocate nothing per call.
+    The fused ``out=`` chain evaluates exactly the operations of the
+    plain ``np.where`` formulation, including the positive zero written
+    to sub-threshold entries, so results are bit-identical with or
+    without the buffers.
+    """
     if threshold < 0:
         raise ValidationError(f"threshold must be >= 0, got {threshold}")
-    magnitude = np.abs(matrix)
-    scale = np.where(magnitude > threshold, (magnitude - threshold) / np.maximum(magnitude, 1e-30), 0.0)
-    return matrix * scale
+    matrix = np.asarray(matrix)
+    if workspace is None:
+        workspace = {}
+    magnitude = workspace.get("magnitude")
+    if magnitude is None or magnitude.shape != matrix.shape:
+        magnitude = workspace["magnitude"] = np.empty(matrix.shape, dtype=float)
+        workspace["mask"] = np.empty(matrix.shape, dtype=bool)
+        workspace["scale"] = np.empty(matrix.shape, dtype=float)
+        workspace["denominator"] = np.empty(matrix.shape, dtype=float)
+    mask = workspace["mask"]
+    scale = workspace["scale"]
+    denominator = workspace["denominator"]
+    np.abs(matrix, out=magnitude)
+    np.less_equal(magnitude, threshold, out=mask)
+    np.subtract(magnitude, threshold, out=scale)
+    np.maximum(magnitude, 1e-30, out=denominator)
+    np.divide(scale, denominator, out=scale)
+    np.copyto(scale, 0.0, where=mask)
+    if out is None:
+        return matrix * scale
+    if out.shape != matrix.shape or out.dtype != matrix.dtype:
+        raise ValidationError(
+            f"out must match matrix shape {matrix.shape} and dtype {matrix.dtype}"
+        )
+    return np.multiply(matrix, scale, out=out)
 
 
 def rpca_ialm(
@@ -92,10 +128,20 @@ def rpca_ialm(
     converged = False
     iteration = 0
     residual_history: List[float] = []
+    # Scratch buffers shared across iterations: the previous sparse
+    # iterate is fully consumed by the low_rank line before the prox
+    # overwrites it, so one output buffer serves every iteration.
+    threshold_workspace: dict = {}
+    sparse_out = np.empty_like(observed)
     with recorder.span("solver.rpca_ialm", rows=n1, cols=n2) as span:
         for iteration in range(1, max_iterations + 1):
             low_rank = shrink_singular_values(observed - sparse + dual / mu, 1.0 / mu)
-            sparse = soft_threshold_entries(observed - low_rank + dual / mu, lam / mu)
+            sparse = soft_threshold_entries(
+                observed - low_rank + dual / mu,
+                lam / mu,
+                workspace=threshold_workspace,
+                out=sparse_out,
+            )
             gap = observed - low_rank - sparse
             dual = dual + mu * gap
             mu = min(mu * rho, mu_max)

@@ -158,6 +158,68 @@ class MeasurementEngine:
         )
         return self._finish_measurement(faded, pair, slot)
 
+    def measure_pairs(
+        self,
+        tx_codebook: Codebook,
+        rx_codebook: Codebook,
+        pairs: List[BeamPair],
+        slot: Optional[int] = None,
+    ) -> List[Measurement]:
+        """Measure several codebook beam pairs in one fused RNG block.
+
+        Bit-identical to calling :meth:`measure_pair` per pair in order:
+        the serial path consumes, per measurement, ``count*K`` gain reals,
+        ``count*K`` gain imaginaries, ``count`` noise reals, and ``count``
+        noise imaginaries — one row-major ``standard_normal`` block with
+        rows laid out that way draws the exact same stream values, and the
+        matched-filter outputs stack into one batched matvec. Falls back
+        to the serial loop when interference is enabled (each dwell then
+        consumes a data-dependent number of draws, which cannot be fused
+        without reordering the stream).
+        """
+        if not pairs:
+            return []
+        if self._interference_probability > 0.0:
+            return [
+                self.measure_pair(tx_codebook, rx_codebook, pair, slot=slot)
+                for pair in pairs
+            ]
+        coupling = self._channel.codebook_couplings(tx_codebook, rx_codebook)
+        tx_indices = [pair.tx_index for pair in pairs]
+        rx_indices = [pair.rx_index for pair in pairs]
+        coefficients = coupling.rx_proj[rx_indices] * coupling.tx_proj[:, tx_indices].T
+        count = self._fading_blocks
+        num_subpaths = self._channel.num_subpaths
+        gain_block = count * num_subpaths
+        block = self._rng.standard_normal((len(pairs), 2 * gain_block + 2 * count))
+        gain_scale = np.sqrt(0.5)
+        noise_scale = np.sqrt(self.noise_variance / 2.0)
+        gains = (
+            (gain_scale * block[:, :gain_block]).reshape(-1, count, num_subpaths)
+            + 1j
+            * (gain_scale * block[:, gain_block : 2 * gain_block]).reshape(
+                -1, count, num_subpaths
+            )
+        ) * self._channel.sqrt_powers
+        faded = np.matmul(gains, coefficients[:, :, None])[..., 0]
+        noise = noise_scale * block[
+            :, 2 * gain_block : 2 * gain_block + count
+        ] + 1j * (noise_scale * block[:, 2 * gain_block + count :])
+        samples = faded + noise
+        powers = np.mean(np.abs(samples) ** 2, axis=1)
+        measurements = []
+        for row, pair in enumerate(pairs):
+            self._count += 1
+            measurements.append(
+                Measurement(
+                    power=float(powers[row]),
+                    z=complex(samples[row, -1]),
+                    pair=pair,
+                    slot=slot,
+                )
+            )
+        return measurements
+
     def _finish_measurement(
         self,
         faded: np.ndarray,

@@ -1,6 +1,11 @@
 """Simulation harness: scenarios, trial running, sweeps, aggregation."""
 
 from repro.sim.aggregate import SeriesStats, summarize
+from repro.sim.batch import (
+    DEFAULT_BATCH_TRIALS,
+    run_trial_block,
+    run_trials_batched,
+)
 from repro.sim.config import ChannelKind, ScenarioConfig
 from repro.sim.metrics import PairEvaluation, evaluate_pair, loss_from_matrix_db, snr_loss_db
 from repro.sim.parallel import (
@@ -33,6 +38,9 @@ from repro.sim.sweep import (
 __all__ = [
     "SeriesStats",
     "summarize",
+    "DEFAULT_BATCH_TRIALS",
+    "run_trial_block",
+    "run_trials_batched",
     "ChannelKind",
     "ScenarioConfig",
     "PairEvaluation",

@@ -42,8 +42,9 @@ from repro.obs import (
     get_recorder,
     use_recorder,
 )
+from repro.sim.batch import run_trial_block
 from repro.sim.config import ScenarioConfig
-from repro.sim.runner import run_trial
+from repro.sim.runner import TrialOutcome, run_trial
 from repro.sim.scenario import Scenario
 from repro.types import BeamPair
 from repro.utils.rng import trial_generator
@@ -102,6 +103,20 @@ class ParallelOutcome:
     optimal_snr: float
 
 
+def _to_parallel(outcomes: Dict[str, TrialOutcome]) -> Dict[str, ParallelOutcome]:
+    """Strip one trial's outcomes down to their cross-process summary."""
+    return {
+        name: ParallelOutcome(
+            algorithm=name,
+            loss_db=outcome.loss_db,
+            measurements_used=outcome.result.measurements_used,
+            selected=outcome.result.selected,
+            optimal_snr=outcome.evaluation.optimal_snr,
+        )
+        for name, outcome in outcomes.items()
+    }
+
+
 @functools.lru_cache(maxsize=8)
 def _scenario_for(config: ScenarioConfig) -> Scenario:
     """Per-process scenario cache (codebooks are immutable)."""
@@ -149,19 +164,7 @@ def _run_one_trial(
         outcomes = run_trial(
             scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
         )
-    return (
-        {
-            name: ParallelOutcome(
-                algorithm=name,
-                loss_db=outcome.loss_db,
-                measurements_used=outcome.result.measurements_used,
-                selected=outcome.result.selected,
-                optimal_snr=outcome.evaluation.optimal_snr,
-            )
-            for name, outcome in outcomes.items()
-        },
-        metrics_snapshot,
-    )
+    return _to_parallel(outcomes), metrics_snapshot
 
 
 def _run_trial_batch(
@@ -171,6 +174,7 @@ def _run_trial_batch(
     base_seed: int,
     trial_indices: Tuple[int, ...],
     collect_metrics: bool = False,
+    batch_trials: Optional[int] = None,
 ) -> Tuple[List[Dict[str, ParallelOutcome]], Optional[Dict[str, Any]]]:
     """Worker entry point: several trials amortizing one task dispatch.
 
@@ -180,28 +184,29 @@ def _run_trial_batch(
     from ``trial_generator(base_seed, k)`` no matter which batch — or
     process — it lands in. Metrics snapshots are likewise merged once per
     batch.
+
+    ``batch_trials`` additionally routes the worker's trials through the
+    in-process batched engine (:func:`repro.sim.batch.run_trial_block`)
+    in blocks of that size — processes x stacked-array batches, still
+    outcome-identical to the serial runner.
     """
     scenario = _scenario_for(config)
     schemes = {spec.name: spec.build_factory() for spec in specs}
     batch_results: List[Dict[str, ParallelOutcome]] = []
 
     def _run_all() -> None:
+        if batch_trials is not None:
+            for start in range(0, len(trial_indices), batch_trials):
+                chunk = trial_indices[start : start + batch_trials]
+                rngs = [trial_generator(base_seed, trial) for trial in chunk]
+                for outcomes in run_trial_block(scenario, schemes, search_rate, rngs):
+                    batch_results.append(_to_parallel(outcomes))
+            return
         for trial_index in trial_indices:
             outcomes = run_trial(
                 scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
             )
-            batch_results.append(
-                {
-                    name: ParallelOutcome(
-                        algorithm=name,
-                        loss_db=outcome.loss_db,
-                        measurements_used=outcome.result.measurements_used,
-                        selected=outcome.result.selected,
-                        optimal_snr=outcome.evaluation.optimal_snr,
-                    )
-                    for name, outcome in outcomes.items()
-                }
-            )
+            batch_results.append(_to_parallel(outcomes))
 
     metrics_snapshot: Optional[Dict[str, Any]] = None
     if collect_metrics:
@@ -234,6 +239,7 @@ def run_trials_parallel(
     max_workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     batch_size: Optional[int] = None,
+    batch_trials: Optional[int] = None,
 ) -> List[Dict[str, ParallelOutcome]]:
     """Run ``num_trials`` independent trials across worker processes.
 
@@ -253,6 +259,11 @@ def run_trials_parallel(
     parent's registry as batches complete, so solver iteration counts and
     span timings survive the process boundary. ``progress`` receives
     throttled completion/ETA updates.
+
+    ``batch_trials`` turns on the in-process batched trial engine inside
+    every worker (:mod:`repro.sim.batch`): each worker executes its trial
+    chunks as stacked array programs in blocks of ``batch_trials`` —
+    processes x batches compose, and seeded outcomes stay bit-identical.
     """
     if num_trials < 1:
         raise ConfigurationError(f"num_trials must be >= 1, got {num_trials}")
@@ -264,6 +275,8 @@ def run_trials_parallel(
         raise ConfigurationError(f"duplicate scheme names in specs: {names}")
     if batch_size is not None and batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if batch_trials is not None and batch_trials < 1:
+        raise ConfigurationError(f"batch_trials must be >= 1, got {batch_trials}")
 
     recorder = get_recorder()
     reporter = ProgressReporter(num_trials, progress, label="trials")
@@ -276,10 +289,22 @@ def run_trials_parallel(
         with recorder.span(
             "run_trials_parallel", num_trials=num_trials, workers=1, search_rate=search_rate
         ):
-            for trial in range(num_trials):
-                outcomes, _ = _run_one_trial(config, specs, search_rate, base_seed, trial)
-                results.append(outcomes)
-                reporter.update()
+            if batch_trials is not None:
+                for start in range(0, num_trials, batch_trials):
+                    chunk = tuple(range(start, min(start + batch_trials, num_trials)))
+                    batch_outcomes, _ = _run_trial_batch(
+                        config, specs, search_rate, base_seed, chunk, False, batch_trials
+                    )
+                    results.extend(batch_outcomes)
+                    for _ in batch_outcomes:
+                        reporter.update()
+            else:
+                for trial in range(num_trials):
+                    outcomes, _ = _run_one_trial(
+                        config, specs, search_rate, base_seed, trial
+                    )
+                    results.append(outcomes)
+                    reporter.update()
         return results
 
     size = batch_size if batch_size is not None else _auto_batch_size(
@@ -317,6 +342,7 @@ def run_trials_parallel(
                     base_seed,
                     batch,
                     collect,
+                    batch_trials,
                 )
                 for batch in batches
             ]

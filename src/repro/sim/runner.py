@@ -70,6 +70,53 @@ def standard_schemes(
     }
 
 
+def _execute_schemes(
+    scenario: Scenario,
+    shared,
+    channel: ClusteredChannel,
+    snr_matrix: np.ndarray,
+    schemes: Mapping[str, AlgorithmFactory],
+    scheme_rngs: List[np.random.Generator],
+    search_rate: float,
+    recorder,
+) -> Dict[str, TrialOutcome]:
+    """Run every scheme against one channel realization (trial body).
+
+    Shared by the serial :func:`run_trial` and the batched engine in
+    :mod:`repro.sim.batch` — the scheme loop is identical in both, only
+    the channel/ground-truth preparation differs.
+    """
+    outcomes: Dict[str, TrialOutcome] = {}
+    for index, (name, factory) in enumerate(schemes.items()):
+        engine_rng = scheme_rngs[2 * index]
+        algo_rng = scheme_rngs[2 * index + 1]
+        engine = MeasurementEngine(
+            channel, engine_rng, fading_blocks=scenario.config.fading_blocks
+        )
+        budget = shared.make_budget(search_rate)
+        context = AlignmentContext(
+            shared.tx_codebook, shared.rx_codebook, engine, budget
+        )
+        algorithm = factory(channel)
+        with recorder.span(f"scheme.{name}") as scheme_span:
+            result = algorithm.align(context, algo_rng)
+            outcome = TrialOutcome(
+                algorithm=name,
+                result=result,
+                evaluation=evaluate_pair(snr_matrix, result.selected),
+            )
+            scheme_span.annotate(
+                loss_db=outcome.loss_db,
+                measurements=result.measurements_used,
+                search_rate=result.search_rate,
+            )
+        if recorder.enabled:
+            recorder.increment(f"scheme.{name}.measurements", result.measurements_used)
+            recorder.increment(f"scheme.{name}.trials")
+        outcomes[name] = outcome
+    return outcomes
+
+
 def run_trial(
     scenario: Scenario,
     schemes: Mapping[str, AlgorithmFactory],
@@ -87,35 +134,16 @@ def run_trial(
         # This both evaluates the trial's ground truth and warms the
         # channel's codebook-coupling table that measure_pair reuses.
         snr_matrix = channel.mean_snr_matrix(shared.tx_codebook, shared.rx_codebook)
-
-        outcomes: Dict[str, TrialOutcome] = {}
-        for index, (name, factory) in enumerate(schemes.items()):
-            engine_rng = scheme_rngs[2 * index]
-            algo_rng = scheme_rngs[2 * index + 1]
-            engine = MeasurementEngine(
-                channel, engine_rng, fading_blocks=scenario.config.fading_blocks
-            )
-            budget = shared.make_budget(search_rate)
-            context = AlignmentContext(
-                shared.tx_codebook, shared.rx_codebook, engine, budget
-            )
-            algorithm = factory(channel)
-            with recorder.span(f"scheme.{name}") as scheme_span:
-                result = algorithm.align(context, algo_rng)
-                outcome = TrialOutcome(
-                    algorithm=name,
-                    result=result,
-                    evaluation=evaluate_pair(snr_matrix, result.selected),
-                )
-                scheme_span.annotate(
-                    loss_db=outcome.loss_db,
-                    measurements=result.measurements_used,
-                    search_rate=result.search_rate,
-                )
-            if recorder.enabled:
-                recorder.increment(f"scheme.{name}.measurements", result.measurements_used)
-                recorder.increment(f"scheme.{name}.trials")
-            outcomes[name] = outcome
+        outcomes = _execute_schemes(
+            scenario,
+            shared,
+            channel,
+            snr_matrix,
+            schemes,
+            scheme_rngs,
+            search_rate,
+            recorder,
+        )
         trial_span.annotate(schemes=list(outcomes))
     return outcomes
 

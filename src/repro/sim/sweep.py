@@ -82,18 +82,25 @@ def effectiveness_sweep(
     num_trials: int,
     base_seed: int = 0,
     progress: Optional[ProgressCallback] = None,
+    batch_trials: Optional[int] = None,
 ) -> EffectivenessSweep:
     """Run every scheme at every search rate; collect per-trial losses.
 
     ``progress`` receives throttled completion/ETA updates over the whole
     ``len(search_rates) * num_trials`` grid; it observes the sweep without
     touching its RNG streams, so results are identical with or without it.
+
+    ``batch_trials`` routes each rate's trials through the batched engine
+    (:func:`repro.sim.batch.run_trials_batched`) in blocks of that size;
+    seeded results are bit-identical to the serial path.
     """
     rates = [float(rate) for rate in search_rates]
     if not rates:
         raise ConfigurationError("need at least one search rate")
     if any(not 0.0 < rate <= 1.0 for rate in rates):
         raise ConfigurationError(f"search rates must be in (0, 1], got {rates}")
+    if batch_trials is not None and batch_trials < 1:
+        raise ConfigurationError(f"batch_trials must be >= 1, got {batch_trials}")
     recorder = get_recorder()
     reporter = ProgressReporter(len(rates) * num_trials, progress, label="sweep")
     logger.info(
@@ -115,9 +122,27 @@ def effectiveness_sweep(
                     reporter.report(base + event.done)
 
             with recorder.span("sweep.rate", search_rate=rate):
-                trials = run_trials(
-                    scenario, schemes, rate, num_trials, base_seed=base_seed, progress=inner
-                )
+                if batch_trials is not None:
+                    from repro.sim.batch import run_trials_batched
+
+                    trials = run_trials_batched(
+                        scenario,
+                        schemes,
+                        rate,
+                        num_trials,
+                        base_seed=base_seed,
+                        batch_size=batch_trials,
+                        progress=inner,
+                    )
+                else:
+                    trials = run_trials(
+                        scenario,
+                        schemes,
+                        rate,
+                        num_trials,
+                        base_seed=base_seed,
+                        progress=inner,
+                    )
             for name in schemes:
                 losses[name].append([trial[name].loss_db for trial in trials])
     return EffectivenessSweep(search_rates=rates, losses=losses)

@@ -98,6 +98,19 @@ class TestCompare:
         session = gate.load_session(bench_dir)
         assert gate.compare({}, session, threshold=0.25) == []
 
+    def test_new_labels_are_named(self, bench_dir, capsys):
+        _write_bench(bench_dir, "brand-new", 1e-3)
+        _write_bench(bench_dir, "also-new", 1e-3)
+        session = gate.load_session(bench_dir)
+        assert gate.new_labels({}, session) == ["also-new", "brand-new"]
+        gate.compare({}, session, threshold=0.25)
+        output = capsys.readouterr().out
+        assert "NEW (2 unbaselined): also-new, brand-new" in output
+
+    def test_new_labels_exclude_calibration(self):
+        session = {gate.CALIBRATION_LABEL: {"mean_s": 1e-3}, "alpha": {"mean_s": 1e-3}}
+        assert gate.new_labels({}, session) == ["alpha"]
+
     def test_tiny_baseline_not_gated(self):
         floor = gate.MIN_GATED_SECONDS
         baseline = {"tiny": {"mean_s": floor / 2, "p50_s": floor / 2}}
@@ -211,6 +224,20 @@ class TestMain:
         args = ["--bench-dir", str(bench_dir), "--baseline", str(baseline_path)]
         assert gate.main([*args, "--update"]) == 0
         assert gate.main(args) == 0
+
+    def test_strict_new_fails_on_unbaselined_bench(self, bench_dir, baseline_path):
+        _write_bench(bench_dir, "alpha", 1e-3)
+        _write_bench(bench_dir, "brand-new", 1e-3)
+        _make_baseline(baseline_path, {"alpha": {"mean_s": 1e-3, "p50_s": 1e-3}})
+        args = ["--bench-dir", str(bench_dir), "--baseline", str(baseline_path)]
+        assert gate.main(args) == 0  # default: informational only
+        assert gate.main([*args, "--strict-new"]) == 1
+
+    def test_strict_new_passes_when_all_baselined(self, bench_dir, baseline_path):
+        _write_bench(bench_dir, "alpha", 1e-3)
+        _make_baseline(baseline_path, gate.load_session(bench_dir))
+        args = ["--bench-dir", str(bench_dir), "--baseline", str(baseline_path)]
+        assert gate.main([*args, "--strict-new"]) == 0
 
     def test_missing_baseline_errors(self, bench_dir, baseline_path):
         _write_bench(bench_dir, "alpha", 1e-3)
