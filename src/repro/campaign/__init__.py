@@ -1,0 +1,72 @@
+"""Checkpointed, fault-tolerant sweep orchestration.
+
+Long Monte Carlo campaigns (figure grids, ablations, scheme comparisons)
+decompose into deterministic **shards** — scenario config + scheme specs
++ search rate + trial index range — executed by a supervising scheduler
+with per-shard retry/backoff/timeout and graceful degradation, persisted
+one atomic JSON artifact per shard in a content-addressed store, and
+reassembled into bit-identical aggregates. An interrupted campaign
+resumes by re-running the same plan: completed shards are skipped.
+
+Typical use::
+
+    from repro.campaign import (
+        ShardStore, assemble_effectiveness_sweep,
+        plan_effectiveness_sweep, run_campaign, standard_scheme_specs,
+    )
+
+    plan = plan_effectiveness_sweep(
+        config, standard_scheme_specs(), rates, num_trials=100, base_seed=7
+    )
+    store = ShardStore("results/campaign")
+    run_campaign(plan, store, max_workers=8)   # Ctrl-C safe: rerun to resume
+    sweep = assemble_effectiveness_sweep(plan, store)
+
+Or end-to-end through the sweep adapter / CLI::
+
+    effectiveness_sweep(scenario, specs, rates, 100, store="results/campaign")
+    # repro campaign run --store results/campaign --trials 100
+
+See ``docs/campaigns.md`` for the shard model, store layout, resume
+semantics, and fault-injection knobs.
+"""
+
+from repro.campaign.assemble import assemble_effectiveness_sweep
+from repro.campaign.plan import (
+    DEFAULT_SHARD_TRIALS,
+    CampaignPlan,
+    ShardSpec,
+    plan_effectiveness_sweep,
+    plan_from_payload,
+    standard_scheme_specs,
+)
+from repro.campaign.scheduler import (
+    CampaignReport,
+    CampaignStatus,
+    FaultInjector,
+    InjectedFault,
+    campaign_status,
+    run_campaign,
+)
+from repro.campaign.store import ShardStore
+from repro.exceptions import CampaignAborted, CampaignError, ShardExecutionError
+
+__all__ = [
+    "DEFAULT_SHARD_TRIALS",
+    "CampaignPlan",
+    "ShardSpec",
+    "plan_effectiveness_sweep",
+    "plan_from_payload",
+    "standard_scheme_specs",
+    "CampaignReport",
+    "CampaignStatus",
+    "FaultInjector",
+    "InjectedFault",
+    "campaign_status",
+    "run_campaign",
+    "ShardStore",
+    "assemble_effectiveness_sweep",
+    "CampaignAborted",
+    "CampaignError",
+    "ShardExecutionError",
+]

@@ -1,0 +1,391 @@
+"""Supervising shard scheduler: retries, timeouts, graceful degradation.
+
+:func:`run_campaign` drives a :class:`~repro.campaign.plan.CampaignPlan`
+to completion against a :class:`~repro.campaign.store.ShardStore`:
+
+* shards with a valid artifact are **skipped** (this is what makes an
+  interrupted campaign resumable — re-running the same plan continues
+  where it stopped);
+* pending shards execute through a worker pool (or in-process), with
+  per-shard **retry + exponential backoff**;
+* a worker-pool hard crash (:class:`BrokenProcessPool`) or a per-shard
+  **timeout** degrades gracefully: the affected shard re-runs in the
+  parent process instead of failing the campaign;
+* a :class:`FaultInjector` can deterministically crash, delay, or
+  corrupt shards and abort the campaign mid-run — the test harness for
+  all of the above.
+
+Because shard seeds come from ``trial_generator(base_seed, k)``, every
+retry/fallback path produces bit-identical results, so a resumed
+campaign's aggregate equals an uninterrupted run's byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.plan import CampaignPlan, ShardSpec
+from repro.campaign.store import ShardStore
+from repro.exceptions import CampaignAborted, ConfigurationError, ShardExecutionError
+from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
+from repro.sim.parallel import ParallelOutcome, _run_trial_batch, _worker_init
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "CampaignStatus",
+    "CampaignReport",
+    "campaign_status",
+    "run_campaign",
+]
+
+logger = get_logger("campaign.scheduler")
+
+
+class InjectedFault(RuntimeError):
+    """A deliberate, test-injected shard failure (retried like any other)."""
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault injection for campaign tests and smoke jobs.
+
+    * ``crash_shards`` maps a shard's plan index to how many attempts
+      should fail with :class:`InjectedFault` before succeeding;
+    * ``corrupt_shards`` lists plan indices whose artifacts are truncated
+      after writing (resume must detect and re-run them);
+    * ``delay_s`` sleeps before every attempt (exercises timeouts);
+    * ``abort_after`` raises :class:`CampaignAborted` once that many
+      shards have been executed this run (simulates a crash/Ctrl-C).
+
+    The injector runs entirely in the parent process, so its behaviour is
+    identical under any worker count.
+    """
+
+    crash_shards: Mapping[int, int] = field(default_factory=dict)
+    corrupt_shards: Sequence[int] = ()
+    delay_s: float = 0.0
+    abort_after: Optional[int] = None
+    _remaining: Dict[int, int] = field(init=False, default_factory=dict)
+    _executed: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._remaining = dict(self.crash_shards)
+
+    def before_attempt(self, shard_index: int) -> None:
+        """Called before every execution attempt; may raise or delay."""
+        if self.delay_s > 0.0:
+            time.sleep(self.delay_s)
+        if self._remaining.get(shard_index, 0) > 0:
+            self._remaining[shard_index] -= 1
+            raise InjectedFault(f"injected crash for shard {shard_index}")
+
+    def corrupts(self, shard_index: int) -> bool:
+        """True when this shard's artifact should be written corrupted."""
+        return shard_index in set(self.corrupt_shards)
+
+    def after_shard(self, shard_index: int) -> None:
+        """Called after a shard executes; may abort the whole campaign."""
+        self._executed += 1
+        if self.abort_after is not None and self._executed >= self.abort_after:
+            raise CampaignAborted(
+                f"fault injector aborted after {self._executed} shards"
+            )
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Done/pending/failed shard counts for one plan against one store."""
+
+    done: int
+    pending: int
+    failed: int
+    total_trials: int
+    done_trials: int
+
+    @property
+    def total(self) -> int:
+        return self.done + self.pending + self.failed
+
+    @property
+    def complete(self) -> bool:
+        return self.pending == 0 and self.failed == 0
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What one :func:`run_campaign` invocation actually did."""
+
+    executed: int
+    skipped: int
+    retries: int
+    fallbacks: int
+    failed_digests: Tuple[str, ...] = ()
+
+
+def campaign_status(plan: CampaignPlan, store: ShardStore) -> CampaignStatus:
+    """Classify every shard of ``plan`` against ``store``."""
+    done = pending = failed = done_trials = 0
+    for shard in plan.shards:
+        verdict = store.classify(shard)
+        if verdict == "done":
+            done += 1
+            done_trials += shard.trial_count
+        elif verdict == "failed":
+            failed += 1
+        else:
+            pending += 1
+    return CampaignStatus(
+        done=done,
+        pending=pending,
+        failed=failed,
+        total_trials=plan.total_trials,
+        done_trials=done_trials,
+    )
+
+
+def _shard_losses(
+    outcomes: List[Dict[str, ParallelOutcome]], shard: ShardSpec
+) -> Dict[str, List[float]]:
+    """Collapse a shard's trial outcomes into per-scheme loss series."""
+    return {
+        name: [trial[name].loss_db for trial in outcomes]
+        for name in shard.scheme_names()
+    }
+
+
+def _corrupt_artifact(store: ShardStore, shard: ShardSpec) -> None:
+    """Truncate a freshly-written artifact (fault-injection only)."""
+    path = store.shard_path(shard.digest)
+    text = path.read_text(encoding="utf-8")
+    path.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+
+
+def run_campaign(
+    plan: CampaignPlan,
+    store: ShardStore,
+    max_workers: Optional[int] = None,
+    batch_trials: Optional[int] = None,
+    retries: int = 2,
+    backoff_s: float = 0.0,
+    timeout_s: Optional[float] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignReport:
+    """Execute every pending shard of ``plan``; skip completed ones.
+
+    ``max_workers=None`` or ``1`` runs shards in-process; otherwise each
+    shard is one pool task (``_run_trial_batch``) and ``timeout_s``
+    bounds how long the parent waits per shard before falling back to
+    in-process execution. ``batch_trials`` routes each shard's trials
+    through the in-process batched engine (bit-identical results). A
+    shard that keeps failing after ``retries`` extra attempts is recorded
+    and the campaign continues; :class:`ShardExecutionError` is raised at
+    the end if any shard permanently failed.
+
+    Safe to call repeatedly with the same arguments: completed shards are
+    skipped, so this is also the *resume* entry point.
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if batch_trials is not None and batch_trials < 1:
+        raise ConfigurationError(f"batch_trials must be >= 1, got {batch_trials}")
+    recorder = get_recorder()
+    store.save_manifest(plan)
+    reporter = ProgressReporter(plan.total_trials, progress, label="campaign")
+    pooled = max_workers is not None and max_workers > 1
+    logger.info(
+        "campaign %s: %d shards (%d trials), workers=%s",
+        plan.digest[:12],
+        len(plan.shards),
+        plan.total_trials,
+        max_workers,
+    )
+    executed = skipped = retry_count = fallback_count = 0
+    failed: List[str] = []
+    done_trials = 0
+
+    def execute_in_process(shard: ShardSpec) -> Dict[str, List[float]]:
+        outcomes, _ = _run_trial_batch(
+            shard.config,
+            shard.schemes,
+            shard.search_rate,
+            shard.base_seed,
+            shard.trial_indices,
+            False,
+            batch_trials,
+        )
+        return _shard_losses(outcomes, shard)
+
+    with recorder.span(
+        "campaign.run",
+        plan=plan.digest,
+        num_shards=len(plan.shards),
+        total_trials=plan.total_trials,
+        workers=max_workers or 1,
+    ) as campaign_span:
+        pending = [
+            (index, shard)
+            for index, shard in enumerate(plan.shards)
+            if not store.has(shard)
+        ]
+        skipped = len(plan.shards) - len(pending)
+        done_trials = plan.total_trials - sum(s.trial_count for _, s in pending)
+        if skipped:
+            recorder.increment("campaign.shards_skipped", skipped)
+            reporter.report(done_trials)
+
+        pool: Optional[ProcessPoolExecutor] = None
+        futures: Dict[int, "Future"] = {}
+        collect = recorder.enabled and recorder.metrics is not None
+        try:
+            if pooled and pending:
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    initializer=_worker_init,
+                    initargs=(pending[0][1].config,),
+                )
+                for index, shard in pending:
+                    futures[index] = pool.submit(
+                        _run_trial_batch,
+                        shard.config,
+                        shard.schemes,
+                        shard.search_rate,
+                        shard.base_seed,
+                        shard.trial_indices,
+                        collect,
+                        batch_trials,
+                    )
+
+            for index, shard in pending:
+                losses: Optional[Dict[str, List[float]]] = None
+                with recorder.span(
+                    "campaign.shard",
+                    digest=shard.digest,
+                    search_rate=shard.search_rate,
+                    trial_start=shard.trial_start,
+                    trial_count=shard.trial_count,
+                ) as shard_span:
+                    attempt = 0
+                    while losses is None:
+                        try:
+                            if fault_injector is not None:
+                                fault_injector.before_attempt(index)
+                            future = futures.pop(index, None)
+                            if future is not None:
+                                losses = _collect_pooled(
+                                    future, shard, timeout_s, recorder
+                                )
+                                if losses is None:  # pool broke or timed out
+                                    fallback_count += 1
+                                    recorder.increment("campaign.fallbacks")
+                                    losses = execute_in_process(shard)
+                            else:
+                                losses = execute_in_process(shard)
+                        except CampaignAborted:
+                            raise
+                        except Exception as error:  # noqa: BLE001 - retried
+                            attempt += 1
+                            shard_span.annotate(last_error=str(error))
+                            if attempt > retries:
+                                logger.error(
+                                    "shard %s failed permanently: %s",
+                                    shard.digest[:12],
+                                    error,
+                                )
+                                recorder.increment("campaign.shards_failed")
+                                failed.append(shard.digest)
+                                break
+                            retry_count += 1
+                            recorder.increment("campaign.retries")
+                            recorder.event(
+                                "campaign.shard_retry",
+                                digest=shard.digest,
+                                attempt=attempt,
+                            )
+                            logger.warning(
+                                "shard %s attempt %d failed (%s); retrying",
+                                shard.digest[:12],
+                                attempt,
+                                error,
+                            )
+                            if backoff_s > 0.0:
+                                time.sleep(backoff_s * (2 ** (attempt - 1)))
+                    if losses is None:
+                        continue
+                    store.put(shard, losses)
+                    if fault_injector is not None and fault_injector.corrupts(index):
+                        _corrupt_artifact(store, shard)
+                    executed += 1
+                    done_trials += shard.trial_count
+                    recorder.increment("campaign.shards_executed")
+                    shard_span.annotate(attempts=attempt + 1)
+                reporter.report(done_trials)
+                if fault_injector is not None:
+                    fault_injector.after_shard(index)
+        finally:
+            if pool is not None:
+                for future in futures.values():
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+        campaign_span.annotate(
+            executed=executed,
+            skipped=skipped,
+            retries=retry_count,
+            fallbacks=fallback_count,
+            failed=len(failed),
+        )
+    report = CampaignReport(
+        executed=executed,
+        skipped=skipped,
+        retries=retry_count,
+        fallbacks=fallback_count,
+        failed_digests=tuple(failed),
+    )
+    if failed:
+        raise ShardExecutionError(
+            f"{len(failed)} shard(s) failed after {retries} retries: "
+            + ", ".join(digest[:12] for digest in failed)
+        )
+    return report
+
+
+def _collect_pooled(
+    future: "Future",
+    shard: ShardSpec,
+    timeout_s: Optional[float],
+    recorder,
+) -> Optional[Dict[str, List[float]]]:
+    """One pooled shard result; ``None`` requests an in-process fallback.
+
+    :class:`BrokenProcessPool` (worker hard-crash/OOM) and per-shard
+    timeouts degrade to in-process execution rather than failing; other
+    worker exceptions propagate to the retry loop.
+    """
+    try:
+        outcomes, snapshot = future.result(timeout=timeout_s)
+    except BrokenProcessPool as error:
+        logger.warning(
+            "worker pool broke on shard %s (%s); running in-process",
+            shard.digest[:12],
+            error,
+        )
+        recorder.event("campaign.pool_broken", digest=shard.digest)
+        return None
+    except FutureTimeoutError:
+        logger.warning(
+            "shard %s exceeded %.1fs in the pool; running in-process",
+            shard.digest[:12],
+            timeout_s or 0.0,
+        )
+        recorder.event("campaign.shard_timeout", digest=shard.digest)
+        future.cancel()
+        return None
+    if snapshot and recorder.enabled and recorder.metrics is not None:
+        recorder.metrics.merge_snapshot(snapshot)
+    return _shard_losses(outcomes, shard)

@@ -1,0 +1,189 @@
+"""Content-addressed shard store: one atomic JSON artifact per shard.
+
+Layout under the store root::
+
+    shards/<digest>.json      one completed shard result
+    manifests/<digest>.json   one campaign plan (written at run start)
+
+A shard artifact carries a provenance header (schema, code version, base
+seed, scenario config), the full shard spec, and the per-scheme loss
+series. Artifacts are written through the atomic
+:func:`repro.utils.serialization.dump`, so a crash mid-write leaves no
+partial file; a corrupted or truncated artifact (e.g. injected by
+:class:`~repro.campaign.scheduler.FaultInjector`) is detected on read,
+reported as *failed* by :meth:`ShardStore.classify`, and simply re-run on
+resume. No timestamps are stored: artifacts are deterministic, so a
+resumed campaign's store is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.campaign.plan import SHARD_SCHEMA, CampaignPlan, ShardSpec
+from repro.obs import get_logger
+from repro.utils.serialization import dump, load
+from repro.version import __version__
+
+__all__ = ["ShardStore", "ShardArtifactStatus"]
+
+logger = get_logger("campaign.store")
+
+#: ``classify`` verdicts: artifact present and valid / absent / present
+#: but unreadable or inconsistent.
+ShardArtifactStatus = str  # "done" | "pending" | "failed"
+
+
+class ShardStore:
+    """Filesystem-backed, content-addressed store of shard results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.shard_dir = self.root / "shards"
+        self.manifest_dir = self.root / "manifests"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------
+
+    def shard_path(self, digest: str) -> Path:
+        """Where the artifact for ``digest`` lives (may not exist)."""
+        return self.shard_dir / f"{digest}.json"
+
+    def manifest_path(self, digest: str) -> Path:
+        """Where the manifest for a plan digest lives (may not exist)."""
+        return self.manifest_dir / f"{digest}.json"
+
+    # -- shard artifacts -----------------------------------------------
+
+    def put(self, shard: ShardSpec, losses: Dict[str, List[float]]) -> Path:
+        """Atomically write one shard result; returns the artifact path.
+
+        ``losses`` maps scheme name to the per-trial loss series (dB) for
+        the shard's trial range, in trial order.
+        """
+        expected = {name: shard.trial_count for name in shard.scheme_names()}
+        actual = {name: len(series) for name, series in losses.items()}
+        if actual != expected:
+            raise ValueError(
+                f"shard result shape mismatch: expected {expected}, got {actual}"
+            )
+        digest = shard.digest
+        path = self.shard_path(digest)
+        dump(
+            {
+                "kind": "campaign-shard-v1",
+                "digest": digest,
+                "provenance": {
+                    "schema": SHARD_SCHEMA,
+                    "code_version": __version__,
+                    "base_seed": shard.base_seed,
+                    "config": shard.config.to_dict(),
+                },
+                "spec": shard.spec_payload(),
+                "result": {"losses": losses},
+            },
+            path,
+        )
+        return path
+
+    def get(self, shard: ShardSpec) -> Optional[Dict[str, List[float]]]:
+        """The shard's loss series, or ``None`` if absent or invalid."""
+        payload = self._read_artifact(shard.digest)
+        if payload is None:
+            return None
+        losses = payload["result"]["losses"]
+        names = shard.scheme_names()
+        if set(losses) != set(names) or any(
+            len(losses[name]) != shard.trial_count for name in names
+        ):
+            logger.warning("shard %s artifact has wrong shape", shard.digest)
+            return None
+        return {name: [float(v) for v in losses[name]] for name in names}
+
+    def has(self, shard: ShardSpec) -> bool:
+        """True when a valid artifact exists for ``shard``."""
+        return self.get(shard) is not None
+
+    def classify(self, shard: ShardSpec) -> ShardArtifactStatus:
+        """``done`` (valid artifact), ``pending`` (absent), or ``failed``
+        (an artifact file exists but is corrupt or inconsistent)."""
+        if not self.shard_path(shard.digest).exists():
+            return "pending"
+        return "done" if self.has(shard) else "failed"
+
+    def _read_artifact(self, digest: str) -> Optional[dict]:
+        """Parse and sanity-check one artifact; None when invalid."""
+        path = self.shard_path(digest)
+        try:
+            payload = load(path)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as error:
+            logger.warning("unreadable shard artifact %s: %s", path, error)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("kind") != "campaign-shard-v1"
+            or payload.get("digest") != digest
+            or not isinstance(payload.get("result"), dict)
+            or not isinstance(payload["result"].get("losses"), dict)
+        ):
+            logger.warning("inconsistent shard artifact %s", path)
+            return None
+        return payload
+
+    def list_digests(self) -> List[str]:
+        """Digests of every artifact file present (valid or not)."""
+        return sorted(path.stem for path in self.shard_dir.glob("*.json"))
+
+    # -- manifests -----------------------------------------------------
+
+    def save_manifest(self, plan: CampaignPlan) -> Path:
+        """Record the plan so ``status``/``gc`` work without re-planning."""
+        path = self.manifest_path(plan.digest)
+        dump(plan.payload(), path)
+        return path
+
+    def load_manifests(self) -> Dict[str, CampaignPlan]:
+        """Every stored plan, keyed by plan digest (invalid files skipped)."""
+        from repro.campaign.plan import plan_from_payload
+
+        plans: Dict[str, CampaignPlan] = {}
+        for path in sorted(self.manifest_dir.glob("*.json")):
+            try:
+                plans[path.stem] = plan_from_payload(load(path))
+            except Exception as error:  # noqa: BLE001 - tolerate junk files
+                logger.warning("skipping invalid manifest %s: %s", path, error)
+        return plans
+
+    # -- garbage collection --------------------------------------------
+
+    def gc(
+        self,
+        keep: Optional[Iterable[str]] = None,
+        dry_run: bool = False,
+    ) -> List[Path]:
+        """Remove corrupt artifacts and artifacts not in ``keep``.
+
+        ``keep`` is the set of digests to retain (defaults to the union
+        of all stored manifests' shards). Corrupt artifacts are removed
+        even when referenced — resume re-runs them anyway. Returns the
+        removed (or, with ``dry_run``, would-be-removed) paths.
+        """
+        if keep is None:
+            keep_set: Set[str] = set()
+            for plan in self.load_manifests().values():
+                keep_set.update(shard.digest for shard in plan.shards)
+        else:
+            keep_set = set(keep)
+        removed: List[Path] = []
+        for digest in self.list_digests():
+            path = self.shard_path(digest)
+            if digest in keep_set and self._read_artifact(digest) is not None:
+                continue
+            removed.append(path)
+            if not dry_run:
+                path.unlink()
+        return removed

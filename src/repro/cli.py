@@ -7,10 +7,15 @@
     repro run fig6 --quick          # small/fast variant
     repro run fig6 --trials 50 --seed 7 --json out.json
     repro run fig6 --batch-trials 32            # batched trial engine
+    repro run fig6 --store results/c6           # checkpointed (resumable) run
     repro run fig6 --trace out.jsonl --progress  # JSONL trace + ETA lines
     repro trace summarize out.jsonl             # timing/convergence tables
     repro align --channel multipath --rate 0.1  # one alignment, verbose
     repro report results/ --out REPORT.md       # fold saved JSONs into markdown
+    repro campaign run --store results/camp --trials 100   # sharded sweep
+    repro campaign status --store results/camp  # done/pending/failed shards
+    repro campaign resume --store results/camp --trials 100  # pick up where left
+    repro campaign gc --store results/camp      # drop corrupt/orphaned shards
 
 Also reachable as ``python -m repro.cli``. ``--log-level debug`` surfaces
 the package's loggers on stderr; tracing and progress are opt-in and do
@@ -92,7 +97,67 @@ def build_parser() -> argparse.ArgumentParser:
             " (bit-identical seeded results; try 32)"
         ),
     )
+    run_cmd.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "checkpoint the sweep in a campaign shard store at DIR;"
+            " re-running resumes from completed shards (sweep experiments)"
+        ),
+    )
     run_cmd.set_defaults(handler=_handle_run)
+
+    campaign_cmd = commands.add_parser(
+        "campaign", help="checkpointed, fault-tolerant sweep campaigns"
+    )
+    campaign_sub = campaign_cmd.add_subparsers(dest="campaign_command", required=True)
+    for verb, help_text in (
+        ("run", "run a sharded effectiveness sweep against a store"),
+        ("resume", "alias of run: completed shards are skipped automatically"),
+    ):
+        verb_cmd = campaign_sub.add_parser(verb, help=help_text)
+        _add_campaign_plan_arguments(verb_cmd)
+        verb_cmd.add_argument(
+            "--workers", type=int, default=None, help="worker processes (default: in-process)"
+        )
+        verb_cmd.add_argument(
+            "--retries", type=int, default=2, help="extra attempts per failing shard"
+        )
+        verb_cmd.add_argument(
+            "--backoff", type=float, default=0.0, metavar="S",
+            help="base retry backoff in seconds (doubles per attempt)",
+        )
+        verb_cmd.add_argument(
+            "--timeout", type=float, default=None, metavar="S",
+            help="per-shard pool timeout before in-process fallback",
+        )
+        verb_cmd.add_argument(
+            "--batch-trials", type=int, default=None, metavar="B",
+            help="run each shard through the batched engine in blocks of B",
+        )
+        verb_cmd.add_argument(
+            "--json", default=None, help="write the assembled sweep as JSON"
+        )
+        verb_cmd.add_argument(
+            "--progress", action="store_true", help="print progress/ETA lines to stderr"
+        )
+        verb_cmd.set_defaults(handler=_handle_campaign_run)
+
+    status_cmd = campaign_sub.add_parser(
+        "status", help="report done/pending/failed shard counts per recorded campaign"
+    )
+    status_cmd.add_argument("--store", required=True, metavar="DIR")
+    status_cmd.set_defaults(handler=_handle_campaign_status)
+
+    gc_cmd = campaign_sub.add_parser(
+        "gc", help="remove corrupt artifacts and shards no recorded campaign references"
+    )
+    gc_cmd.add_argument("--store", required=True, metavar="DIR")
+    gc_cmd.add_argument(
+        "--dry-run", action="store_true", help="only report what would be removed"
+    )
+    gc_cmd.set_defaults(handler=_handle_campaign_gc)
 
     report_cmd = commands.add_parser(
         "report", help="render a markdown report from saved result JSONs"
@@ -169,6 +234,15 @@ def _handle_run(args: argparse.Namespace) -> int:
                 f"note: experiment {args.experiment!r} does not support batching",
                 file=sys.stderr,
             )
+    if args.store is not None:
+        if _accepts_kwarg(runner, "store"):
+            overrides["store"] = args.store
+        else:
+            print(
+                f"note: experiment {args.experiment!r} does not support"
+                " campaign checkpointing",
+                file=sys.stderr,
+            )
     with ExitStack() as stack:
         if args.trace:
             try:
@@ -185,6 +259,141 @@ def _handle_run(args: argparse.Namespace) -> int:
     if args.json:
         dump({"id": result.experiment_id, "title": result.title, "data": result.data}, args.json)
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _add_campaign_plan_arguments(parser: argparse.ArgumentParser) -> None:
+    """The options that define a campaign's plan (shared by run/resume)."""
+    parser.add_argument("--store", required=True, metavar="DIR", help="shard store root")
+    parser.add_argument(
+        "--channel",
+        choices=[kind.value for kind in ChannelKind],
+        default=ChannelKind.MULTIPATH.value,
+    )
+    parser.add_argument(
+        "--rates",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated search rates in (0, 1] (default: the figure grid)",
+    )
+    parser.add_argument("--trials", type=int, default=None, help="trials per rate")
+    parser.add_argument("--seed", type=int, default=None, help="base seed")
+    parser.add_argument("--snr-db", type=float, default=20.0)
+    parser.add_argument("--measurements-per-slot", type=int, default=8)
+    parser.add_argument(
+        "--shard-trials", type=int, default=None, metavar="N",
+        help="trials per shard (default 8)",
+    )
+    parser.add_argument("--quick", action="store_true", help="small/fast variant")
+
+
+def _campaign_plan_from_args(args: argparse.Namespace):
+    """Build the (config, plan) a campaign verb describes."""
+    from repro.campaign import plan_effectiveness_sweep, standard_scheme_specs
+    from repro.experiments.common import DEFAULT_SEARCH_RATES, DEFAULT_SEED, DEFAULT_TRIALS
+
+    num_trials = args.trials if args.trials is not None else DEFAULT_TRIALS
+    rates = (
+        tuple(float(token) for token in args.rates.split(","))
+        if args.rates
+        else DEFAULT_SEARCH_RATES
+    )
+    if args.quick:
+        num_trials = min(num_trials, 4)
+        if not args.rates:
+            rates = (0.10, 0.20)
+    config = ScenarioConfig(channel=ChannelKind(args.channel), snr_db=args.snr_db)
+    plan = plan_effectiveness_sweep(
+        config,
+        standard_scheme_specs(measurements_per_slot=args.measurements_per_slot),
+        rates,
+        num_trials,
+        base_seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        shard_trials=args.shard_trials,
+    )
+    return config, plan
+
+
+def _handle_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        ShardStore,
+        assemble_effectiveness_sweep,
+        campaign_status,
+        run_campaign,
+    )
+    from repro.exceptions import CampaignError
+    from repro.experiments.render import render_effectiveness
+    from repro.sim.persistence import build_provenance, save_effectiveness_sweep
+
+    config, plan = _campaign_plan_from_args(args)
+    store = ShardStore(args.store)
+    before = campaign_status(plan, store)
+    print(
+        f"campaign {plan.digest[:12]}: {len(plan.shards)} shards"
+        f" ({plan.total_trials} trials), {before.done} already done"
+    )
+    try:
+        report = run_campaign(
+            plan,
+            store,
+            max_workers=args.workers,
+            batch_trials=args.batch_trials,
+            retries=args.retries,
+            backoff_s=args.backoff,
+            timeout_s=args.timeout,
+            progress=print_progress if args.progress else None,
+        )
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"executed {report.executed} shards, skipped {report.skipped},"
+        f" {report.retries} retries, {report.fallbacks} fallbacks"
+    )
+    sweep = assemble_effectiveness_sweep(plan, store)
+    print(render_effectiveness(sweep, f"Campaign sweep ({args.channel})"))
+    if args.json:
+        save_effectiveness_sweep(
+            sweep,
+            args.json,
+            provenance=build_provenance(
+                base_seed=plan.base_seed, num_trials=plan.num_trials, config=config
+            ),
+        )
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _handle_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import ShardStore, campaign_status
+
+    store = ShardStore(args.store)
+    manifests = store.load_manifests()
+    if not manifests:
+        print(f"no campaigns recorded in {args.store}")
+        return 0
+    for digest, plan in sorted(manifests.items()):
+        status = campaign_status(plan, store)
+        state = "complete" if status.complete else "in progress"
+        print(
+            f"campaign {digest[:12]} [{state}]: "
+            f"{status.done} done / {status.pending} pending / "
+            f"{status.failed} failed of {status.total} shards;"
+            f" trials {status.done_trials}/{status.total_trials};"
+            f" rates {', '.join(f'{r:g}' for r in plan.search_rates)}"
+        )
+    return 0
+
+
+def _handle_campaign_gc(args: argparse.Namespace) -> int:
+    from repro.campaign import ShardStore
+
+    store = ShardStore(args.store)
+    removed = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{verb} {len(removed)} artifact(s) from {args.store}")
+    for path in removed:
+        print(f"  {path.name}")
     return 0
 
 

@@ -41,3 +41,20 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id was unknown or an experiment produced bad output."""
+
+
+class CampaignError(ReproError):
+    """A campaign plan, store, or scheduler reached an inconsistent state."""
+
+
+class CampaignAborted(CampaignError):
+    """A campaign run stopped before completing every shard.
+
+    Raised by the scheduler when a fault injector (or a caller-provided
+    hook) aborts the run mid-campaign. Completed shards are already in
+    the store, so re-running the same plan resumes where it left off.
+    """
+
+
+class ShardExecutionError(CampaignError):
+    """A shard exhausted its retry budget without producing a result."""

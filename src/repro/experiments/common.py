@@ -59,8 +59,27 @@ def _sweep(
     measurements_per_slot: int,
     progress: Optional[ProgressCallback] = None,
     batch_trials: Optional[int] = None,
+    store=None,
+    shard_trials: Optional[int] = None,
 ) -> EffectivenessSweep:
     scenario = build_scenario(channel, snr_db=snr_db)
+    if store is not None:
+        # The campaign path needs picklable scheme specs rather than the
+        # factory closures; the standard specs mirror standard_schemes.
+        from repro.campaign import standard_scheme_specs
+
+        specs = standard_scheme_specs(measurements_per_slot=measurements_per_slot)
+        return effectiveness_sweep(
+            scenario,
+            {spec.name: spec for spec in specs},
+            search_rates,
+            num_trials,
+            base_seed=base_seed,
+            progress=progress,
+            batch_trials=batch_trials,
+            store=store,
+            shard_trials=shard_trials,
+        )
     schemes = standard_schemes(measurements_per_slot=measurements_per_slot)
     return effectiveness_sweep(
         scenario,
@@ -85,12 +104,17 @@ def run_effectiveness_experiment(
     quick: bool = False,
     progress: Optional[ProgressCallback] = None,
     batch_trials: Optional[int] = None,
+    store=None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
     """Figures 5/6: SNR loss vs search rate for Random/Scan/Proposed.
 
     ``batch_trials`` runs the sweep through the batched trial engine
     (bit-identical seeded results, one stacked channel/solver program per
-    block of that many trials).
+    block of that many trials). ``store`` (a directory path or
+    :class:`~repro.campaign.ShardStore`) checkpoints the sweep through
+    the campaign scheduler: interrupted runs resume by skipping completed
+    shards, with bit-identical results.
     """
     if quick:
         num_trials = min(num_trials, 4)
@@ -105,6 +129,8 @@ def run_effectiveness_experiment(
         measurements_per_slot,
         progress,
         batch_trials=batch_trials,
+        store=store,
+        shard_trials=shard_trials,
     )
     data: Dict[str, object] = {
         "search_rates": rates,
@@ -139,8 +165,14 @@ def run_cost_experiment(
     quick: bool = False,
     progress: Optional[ProgressCallback] = None,
     batch_trials: Optional[int] = None,
+    store=None,
+    shard_trials: Optional[int] = None,
 ) -> ExperimentResult:
-    """Figures 7/8: required search rate vs target SNR loss."""
+    """Figures 7/8: required search rate vs target SNR loss.
+
+    ``store`` checkpoints the underlying sweep through the campaign
+    scheduler (see :func:`run_effectiveness_experiment`).
+    """
     if quick:
         num_trials = min(num_trials, 4)
         search_rates = search_rates or (0.10, 0.20, 0.40)
@@ -156,6 +188,8 @@ def run_cost_experiment(
         measurements_per_slot,
         progress,
         batch_trials=batch_trials,
+        store=store,
+        shard_trials=shard_trials,
     )
     curve = required_search_rates(sweep, targets)
     data: Dict[str, object] = {

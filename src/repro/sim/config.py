@@ -94,6 +94,44 @@ class ScenarioConfig:
         rx_rows, rx_cols = self.effective_rx_beam_grid
         return tx_rows * tx_cols * rx_rows * rx_cols
 
+    def to_dict(self) -> dict:
+        """A JSON-serializable dictionary capturing every field.
+
+        Round-trips through :meth:`from_dict`; used by persistence
+        provenance blocks and the campaign shard digests, so the mapping
+        is stable: plain built-ins only, field names as keys.
+        """
+        from repro.utils.serialization import to_jsonable
+
+        payload = to_jsonable(self)
+        assert isinstance(payload, dict)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+
+        def as_pair(value) -> Optional[Tuple[int, int]]:
+            return None if value is None else (int(value[0]), int(value[1]))
+
+        cluster = payload.get("cluster_params") or {}
+        cluster_kwargs = dict(cluster)
+        for key in ("azimuth_sine_range", "elevation_sine_range"):
+            if key in cluster_kwargs:
+                low, high = cluster_kwargs[key]
+                cluster_kwargs[key] = (float(low), float(high))
+        return cls(
+            channel=ChannelKind(payload["channel"]),
+            tx_shape=as_pair(payload["tx_shape"]) or (4, 4),
+            rx_shape=as_pair(payload["rx_shape"]) or (8, 8),
+            spacing=float(payload["spacing"]),
+            snr_db=float(payload["snr_db"]),
+            fading_blocks=int(payload["fading_blocks"]),
+            tx_beam_grid=as_pair(payload.get("tx_beam_grid")),
+            rx_beam_grid=as_pair(payload.get("rx_beam_grid")),
+            cluster_params=ClusterParams(**cluster_kwargs),
+        )
+
     def with_channel(self, channel: ChannelKind) -> "ScenarioConfig":
         """A copy of this config with a different channel family."""
         return ScenarioConfig(

@@ -21,6 +21,7 @@ import functools
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -348,7 +349,31 @@ def run_trials_parallel(
             ]
             results = []
             for batch_index, future in enumerate(futures):
-                batch_outcomes, snapshot = future.result()
+                try:
+                    batch_outcomes, snapshot = future.result()
+                except BrokenProcessPool as error:
+                    # A worker died hard (os._exit, OOM kill, segfault).
+                    # The pool is unrecoverable, but the batch is not:
+                    # per-trial seeding makes re-running it in-process
+                    # bit-identical to what the worker would have sent.
+                    logger.warning(
+                        "worker pool broke on batch %d (%s); re-running batch"
+                        " in-process",
+                        batch_index,
+                        error,
+                    )
+                    recorder.event(
+                        "parallel.pool_broken", batch=batch_index, error=str(error)
+                    )
+                    batch_outcomes, snapshot = _run_trial_batch(
+                        config,
+                        specs,
+                        search_rate,
+                        base_seed,
+                        batches[batch_index],
+                        collect,
+                        batch_trials,
+                    )
                 results.extend(batch_outcomes)
                 if collect and snapshot:
                     recorder.metrics.merge_snapshot(snapshot)

@@ -5,18 +5,27 @@ Full-scale figure sweeps take minutes; these helpers serialize an
 losses, so statistics can be recomputed or re-aggregated later) to JSON
 and load it back. The archived `results/` directory of this repository
 was produced through the same machinery.
+
+Saved files may carry an optional **provenance block** (schema version,
+code version, base seed, trial count, scenario config) so a result JSON
+is self-describing; loaders tolerate its absence, so files written
+before provenance existed still load. Provenance is deterministic — no
+timestamps — so identical runs produce identical bytes.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.exceptions import ValidationError
+from repro.sim.config import ScenarioConfig
 from repro.sim.sweep import CostEfficiencyCurve, EffectivenessSweep
 from repro.utils.serialization import dump, load
+from repro.version import __version__
 
 __all__ = [
+    "build_provenance",
     "save_effectiveness_sweep",
     "load_effectiveness_sweep",
     "save_cost_curve",
@@ -26,27 +35,63 @@ __all__ = [
 _SWEEP_KIND = "effectiveness-sweep-v1"
 _CURVE_KIND = "cost-efficiency-curve-v1"
 
+#: Version of the provenance block layout (independent of the result
+#: ``kind`` so provenance can evolve without invalidating old files).
+PROVENANCE_SCHEMA = 1
+
+
+def build_provenance(
+    base_seed: Optional[int] = None,
+    num_trials: Optional[int] = None,
+    config: Optional[ScenarioConfig] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """A deterministic provenance block for saved results.
+
+    Only the fields provided appear (plus schema and code version), so
+    callers record exactly what they know. ``extra`` keys pass through
+    verbatim and must be JSON-serializable.
+    """
+    block: Dict[str, Any] = {
+        "schema": PROVENANCE_SCHEMA,
+        "code_version": __version__,
+    }
+    if base_seed is not None:
+        block["base_seed"] = int(base_seed)
+    if num_trials is not None:
+        block["num_trials"] = int(num_trials)
+    if config is not None:
+        block["config"] = config.to_dict()
+    block.update(extra)
+    return block
+
 
 def save_effectiveness_sweep(
     sweep: EffectivenessSweep,
     path: Union[str, Path],
+    provenance: Optional[Mapping[str, Any]] = None,
 ) -> None:
-    """Write a sweep (rates + raw per-trial losses) as JSON."""
-    dump(
-        {
-            "kind": _SWEEP_KIND,
-            "search_rates": sweep.search_rates,
-            "losses": sweep.losses,
-        },
-        path,
-    )
+    """Write a sweep (rates + raw per-trial losses) as JSON.
+
+    ``provenance`` (see :func:`build_provenance`) is stored alongside the
+    data when given; loaders ignore it, so it never affects round-trips.
+    """
+    payload: Dict[str, Any] = {
+        "kind": _SWEEP_KIND,
+        "search_rates": sweep.search_rates,
+        "losses": sweep.losses,
+    }
+    if provenance is not None:
+        payload["provenance"] = dict(provenance)
+    dump(payload, path)
 
 
 def load_effectiveness_sweep(path: Union[str, Path]) -> EffectivenessSweep:
     """Load a sweep saved by :func:`save_effectiveness_sweep`.
 
     Statistics are recomputed from the raw losses on load, so older
-    files stay valid if the aggregation logic evolves.
+    files stay valid if the aggregation logic evolves. Files without a
+    provenance block (written before it existed) load unchanged.
     """
     payload = load(path)
     if not isinstance(payload, dict) or payload.get("kind") != _SWEEP_KIND:
@@ -60,16 +105,20 @@ def load_effectiveness_sweep(path: Union[str, Path]) -> EffectivenessSweep:
     )
 
 
-def save_cost_curve(curve: CostEfficiencyCurve, path: Union[str, Path]) -> None:
-    """Write a cost-efficiency curve as JSON."""
-    dump(
-        {
-            "kind": _CURVE_KIND,
-            "target_losses_db": curve.target_losses_db,
-            "required_rates": curve.required_rates,
-        },
-        path,
-    )
+def save_cost_curve(
+    curve: CostEfficiencyCurve,
+    path: Union[str, Path],
+    provenance: Optional[Mapping[str, Any]] = None,
+) -> None:
+    """Write a cost-efficiency curve as JSON (optionally with provenance)."""
+    payload: Dict[str, Any] = {
+        "kind": _CURVE_KIND,
+        "target_losses_db": curve.target_losses_db,
+        "required_rates": curve.required_rates,
+    }
+    if provenance is not None:
+        payload["provenance"] = dict(provenance)
+    dump(payload, path)
 
 
 def load_cost_curve(path: Union[str, Path]) -> CostEfficiencyCurve:

@@ -83,6 +83,8 @@ def effectiveness_sweep(
     base_seed: int = 0,
     progress: Optional[ProgressCallback] = None,
     batch_trials: Optional[int] = None,
+    store=None,
+    shard_trials: Optional[int] = None,
 ) -> EffectivenessSweep:
     """Run every scheme at every search rate; collect per-trial losses.
 
@@ -93,7 +95,28 @@ def effectiveness_sweep(
     ``batch_trials`` routes each rate's trials through the batched engine
     (:func:`repro.sim.batch.run_trials_batched`) in blocks of that size;
     seeded results are bit-identical to the serial path.
+
+    ``store`` (a :class:`~repro.campaign.ShardStore` or a directory path)
+    routes the sweep through the checkpointed campaign scheduler: the
+    grid is sharded (``shard_trials`` trials per shard), completed shards
+    are skipped on re-runs, and results are bit-identical to the direct
+    path. Because shards must be reconstructible in other processes, the
+    ``schemes`` mapping must then hold picklable
+    :class:`~repro.sim.parallel.SchemeSpec` values instead of factory
+    closures (see :func:`repro.campaign.standard_scheme_specs`).
     """
+    if store is not None:
+        return _effectiveness_sweep_via_campaign(
+            scenario,
+            schemes,
+            search_rates,
+            num_trials,
+            base_seed=base_seed,
+            progress=progress,
+            batch_trials=batch_trials,
+            store=store,
+            shard_trials=shard_trials,
+        )
     rates = [float(rate) for rate in search_rates]
     if not rates:
         raise ConfigurationError("need at least one search rate")
@@ -146,6 +169,55 @@ def effectiveness_sweep(
             for name in schemes:
                 losses[name].append([trial[name].loss_db for trial in trials])
     return EffectivenessSweep(search_rates=rates, losses=losses)
+
+
+def _effectiveness_sweep_via_campaign(
+    scenario: Scenario,
+    schemes: Mapping[str, AlgorithmFactory],
+    search_rates: Sequence[float],
+    num_trials: int,
+    base_seed: int,
+    progress: Optional[ProgressCallback],
+    batch_trials: Optional[int],
+    store,
+    shard_trials: Optional[int],
+) -> EffectivenessSweep:
+    """The ``store=`` path: plan shards, run/resume, reassemble."""
+    from repro.campaign import (
+        ShardStore,
+        assemble_effectiveness_sweep,
+        plan_effectiveness_sweep,
+        run_campaign,
+    )
+    from repro.sim.parallel import SchemeSpec
+
+    specs = []
+    for name, value in schemes.items():
+        if not isinstance(value, SchemeSpec):
+            raise ConfigurationError(
+                "effectiveness_sweep(store=...) needs picklable SchemeSpec"
+                f" values (got {type(value).__name__} for {name!r});"
+                " see repro.campaign.standard_scheme_specs"
+            )
+        if value.name != name:
+            raise ConfigurationError(
+                f"scheme key {name!r} does not match its spec name {value.name!r}"
+            )
+        specs.append(value)
+    if not isinstance(store, ShardStore):
+        store = ShardStore(store)
+    plan = plan_effectiveness_sweep(
+        scenario.config,
+        specs,
+        search_rates,
+        num_trials,
+        base_seed=base_seed,
+        shard_trials=shard_trials,
+    )
+    run_campaign(
+        plan, store, batch_trials=batch_trials, progress=progress
+    )
+    return assemble_effectiveness_sweep(plan, store)
 
 
 def required_search_rates(

@@ -4,12 +4,20 @@ Experiment outputs (series of floats keyed by scheme name) and scenario
 configurations round-trip through plain dictionaries so benchmark runs can
 be persisted and diffed. Numpy scalars/arrays are converted to native
 Python types on the way out.
+
+Writes are atomic: :func:`dump` serializes to a temporary file in the
+target's directory and renames it into place, so a crash mid-write can
+never leave a truncated or half-written JSON behind — readers see either
+the old complete file or the new complete file.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Union
 
@@ -30,6 +38,8 @@ def to_jsonable(value: Any) -> Any:
             field.name: to_jsonable(getattr(value, field.name))
             for field in dataclasses.fields(value)
         }
+    if isinstance(value, enum.Enum):
+        return to_jsonable(value.value)
     if isinstance(value, np.ndarray):
         if np.iscomplexobj(value):
             return {
@@ -62,8 +72,36 @@ def dumps(value: Any, indent: int = 2) -> str:
 
 
 def dump(value: Any, path: Union[str, Path], indent: int = 2) -> None:
-    """Serialize ``value`` as JSON to ``path``."""
-    Path(path).write_text(dumps(value, indent=indent) + "\n", encoding="utf-8")
+    """Serialize ``value`` as JSON to ``path``, atomically.
+
+    The JSON is written to a temporary file in the same directory and
+    renamed over ``path`` with :func:`os.replace` (atomic on POSIX and
+    Windows). An interrupted write — crash, Ctrl-C, full disk — leaves
+    the previous contents of ``path`` untouched and no partial file.
+    """
+    target = Path(path)
+    text = dumps(value, indent=indent) + "\n"
+    directory = target.parent if str(target.parent) else Path(".")
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=directory,
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def loads(text: str) -> Any:

@@ -1,0 +1,133 @@
+"""Tests for the content-addressed shard store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.plan import ShardSpec, plan_effectiveness_sweep
+from repro.campaign.store import ShardStore
+from repro.sim.parallel import SchemeSpec
+from repro.utils.serialization import load
+from repro.version import __version__
+
+
+@pytest.fixture
+def specs():
+    return (SchemeSpec.of("Random"),)
+
+
+@pytest.fixture
+def shard(small_config, specs) -> ShardSpec:
+    return ShardSpec(
+        config=small_config,
+        schemes=specs,
+        search_rate=0.2,
+        base_seed=7,
+        trial_start=0,
+        trial_count=3,
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> ShardStore:
+    return ShardStore(tmp_path / "store")
+
+
+class TestShardArtifacts:
+    def test_put_get_roundtrip(self, store, shard):
+        losses = {"Random": [1.0, 2.5, 0.0]}
+        path = store.put(shard, losses)
+        assert path.exists()
+        assert store.get(shard) == losses
+        assert store.has(shard)
+        assert store.classify(shard) == "done"
+
+    def test_missing_is_pending(self, store, shard):
+        assert store.get(shard) is None
+        assert not store.has(shard)
+        assert store.classify(shard) == "pending"
+
+    def test_put_rejects_wrong_shape(self, store, shard):
+        with pytest.raises(ValueError):
+            store.put(shard, {"Random": [1.0]})
+        with pytest.raises(ValueError):
+            store.put(shard, {"Other": [1.0, 2.0, 3.0]})
+
+    def test_artifact_carries_provenance(self, store, shard):
+        store.put(shard, {"Random": [1.0, 2.5, 0.0]})
+        payload = load(store.shard_path(shard.digest))
+        assert payload["kind"] == "campaign-shard-v1"
+        assert payload["digest"] == shard.digest
+        provenance = payload["provenance"]
+        assert provenance["code_version"] == __version__
+        assert provenance["base_seed"] == 7
+        assert provenance["config"]["snr_db"] == shard.config.snr_db
+        assert payload["spec"]["trial_count"] == 3
+
+    def test_artifact_bytes_deterministic(self, store, shard):
+        losses = {"Random": [1.0, 2.5, 0.0]}
+        path = store.put(shard, losses)
+        first = path.read_bytes()
+        store.put(shard, losses)
+        assert path.read_bytes() == first
+
+    def test_corrupt_artifact_detected(self, store, shard):
+        path = store.put(shard, {"Random": [1.0, 2.5, 0.0]})
+        path.write_text(path.read_text()[:20], encoding="utf-8")
+        assert store.get(shard) is None
+        assert store.classify(shard) == "failed"
+
+    def test_wrong_shape_artifact_detected(self, store, shard, specs, small_config):
+        # An artifact for a *different* trial count under the same path
+        # (e.g. a hand-edited file) must not be accepted.
+        other = ShardSpec(small_config, specs, 0.2, 7, 0, 2)
+        store.put(other, {"Random": [1.0, 2.0]})
+        payload_path = store.shard_path(shard.digest)
+        payload_path.write_bytes(store.shard_path(other.digest).read_bytes())
+        assert store.get(shard) is None
+
+
+class TestManifests:
+    def test_save_load_roundtrip(self, store, small_config, specs):
+        plan = plan_effectiveness_sweep(
+            small_config, specs, (0.1, 0.2), 4, base_seed=3, shard_trials=2
+        )
+        store.save_manifest(plan)
+        manifests = store.load_manifests()
+        assert manifests == {plan.digest: plan}
+
+    def test_invalid_manifest_skipped(self, store):
+        (store.manifest_dir / "junk.json").write_text("{", encoding="utf-8")
+        assert store.load_manifests() == {}
+
+
+class TestGc:
+    def test_gc_removes_orphans_and_corrupt(self, store, small_config, specs):
+        plan = plan_effectiveness_sweep(
+            small_config, specs, (0.1,), 4, base_seed=3, shard_trials=2
+        )
+        store.save_manifest(plan)
+        kept, corrupted = plan.shards
+        store.put(kept, {"Random": [1.0, 2.0]})
+        corrupt_path = store.put(corrupted, {"Random": [3.0, 4.0]})
+        corrupt_path.write_text("not json", encoding="utf-8")
+        orphan = ShardSpec(small_config, specs, 0.9, 99, 0, 1)
+        orphan_path = store.put(orphan, {"Random": [5.0]})
+
+        would_remove = store.gc(dry_run=True)
+        assert corrupt_path.exists() and orphan_path.exists()
+        assert sorted(would_remove) == sorted([corrupt_path, orphan_path])
+
+        removed = store.gc()
+        assert sorted(removed) == sorted([corrupt_path, orphan_path])
+        assert store.has(kept)
+        assert not corrupt_path.exists()
+        assert not orphan_path.exists()
+
+    def test_gc_explicit_keep(self, store, small_config, specs):
+        shard = ShardSpec(small_config, specs, 0.2, 7, 0, 1)
+        path = store.put(shard, {"Random": [1.0]})
+        assert store.gc(keep=[shard.digest]) == []
+        assert path.exists()
+        assert store.gc(keep=[]) == [path]
+        assert not path.exists()

@@ -98,6 +98,95 @@ class TestCommands:
         assert excinfo.value.code == 0
 
 
+class TestCampaignCli:
+    def test_run_parser_options(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "run",
+                "--store",
+                "results/camp",
+                "--rates",
+                "0.1,0.2",
+                "--trials",
+                "4",
+                "--shard-trials",
+                "2",
+                "--workers",
+                "2",
+                "--retries",
+                "1",
+                "--quick",
+            ]
+        )
+        assert args.campaign_command == "run"
+        assert args.store == "results/camp"
+        assert args.rates == "0.1,0.2"
+        assert args.shard_trials == 2
+        assert args.workers == 2
+        assert args.retries == 1
+        assert args.quick
+
+    def test_resume_is_alias_of_run(self):
+        args = build_parser().parse_args(
+            ["campaign", "resume", "--store", "s", "--quick"]
+        )
+        assert args.campaign_command == "resume"
+
+    def test_store_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "status"])
+
+    def test_status_empty_store(self, capsys, tmp_path: Path):
+        assert main(["campaign", "status", "--store", str(tmp_path / "none")]) == 0
+        assert "no campaigns recorded" in capsys.readouterr().out
+
+    def test_run_status_resume_gc_cycle(self, capsys, tmp_path: Path):
+        store = tmp_path / "store"
+        sweep_json = tmp_path / "sweep.json"
+        argv = [
+            "campaign",
+            "run",
+            "--store",
+            str(store),
+            "--rates",
+            "0.05",
+            "--trials",
+            "1",
+            "--shard-trials",
+            "1",
+            "--seed",
+            "3",
+            "--json",
+            str(sweep_json),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "executed 1 shards, skipped 0" in out
+        for name in ("Random", "Scan", "Proposed"):
+            assert name in out
+
+        assert main(["campaign", "status", "--store", str(store)]) == 0
+        status_out = capsys.readouterr().out
+        assert "[complete]" in status_out
+        assert "1 done / 0 pending / 0 failed" in status_out
+
+        # resume skips the completed shard and reproduces the same JSON
+        first_bytes = sweep_json.read_bytes()
+        argv[1] = "resume"
+        assert main(argv) == 0
+        assert "executed 0 shards, skipped 1" in capsys.readouterr().out
+        assert sweep_json.read_bytes() == first_bytes
+
+        payload = json.loads(sweep_json.read_text())
+        assert payload["provenance"]["base_seed"] == 3
+
+        assert main(["campaign", "gc", "--store", str(store)]) == 0
+        assert "removed 0 artifact(s)" in capsys.readouterr().out
+
+
 class TestTracing:
     def test_run_writes_parseable_trace(self, capsys, tmp_path: Path):
         from repro.obs import read_trace

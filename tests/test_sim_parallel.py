@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import pytest
 
+from repro.baselines.random_search import RandomSearch
 from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRecorder, use_recorder
 from repro.sim.parallel import (
     SCHEME_BUILDERS,
+    BrokenProcessPool,
     ParallelOutcome,
     SchemeSpec,
     run_trials_parallel,
@@ -95,3 +101,76 @@ class TestRunTrialsParallel:
                 0.3,
                 1,
             )
+
+
+class _AlwaysBrokenFuture:
+    def result(self, timeout=None):
+        raise BrokenProcessPool("worker died before the batch returned")
+
+
+class _AlwaysBrokenPool:
+    """Stand-in executor whose every batch dies mid-flight."""
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args, **kwargs):
+        return _AlwaysBrokenFuture()
+
+
+class _CrashInWorker(RandomSearch):
+    """Hard-kills the process unless it is the test's parent process."""
+
+    name = "Crash"
+
+    def align(self, context, rng):
+        if os.getpid() != int(os.environ.get("REPRO_TEST_PARENT_PID", "-1")):
+            os._exit(1)
+        return super().align(context, rng)
+
+
+class TestBrokenPoolFallback:
+    SPECS = (SchemeSpec.of("Random"),)
+
+    def test_broken_pool_reruns_batches_in_process(self, small_config, monkeypatch):
+        monkeypatch.setattr(
+            "repro.sim.parallel.ProcessPoolExecutor", _AlwaysBrokenPool
+        )
+        recorder = MetricsRecorder()
+        with use_recorder(recorder):
+            fallback = run_trials_parallel(
+                small_config, self.SPECS, 0.3, 3, base_seed=13, max_workers=2
+            )
+        assert recorder.metrics.counter("parallel.pool_broken") >= 1.0
+        reference = run_trials_parallel(
+            small_config, self.SPECS, 0.3, 3, base_seed=13, max_workers=1
+        )
+        assert len(fallback) == 3
+        for a, b in zip(fallback, reference):
+            assert a["Random"].selected == b["Random"].selected
+            assert a["Random"].loss_db == b["Random"].loss_db
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="needs fork so the patched registry reaches pool workers",
+    )
+    def test_real_worker_crash_falls_back(self, small_config, monkeypatch):
+        monkeypatch.setitem(SCHEME_BUILDERS, "Crash", _CrashInWorker)
+        monkeypatch.setenv("REPRO_TEST_PARENT_PID", str(os.getpid()))
+        specs = (SchemeSpec.of("Crash"),)
+        pooled = run_trials_parallel(
+            small_config, specs, 0.3, 2, base_seed=3, max_workers=2
+        )
+        solo = run_trials_parallel(
+            small_config, specs, 0.3, 2, base_seed=3, max_workers=1
+        )
+        assert len(pooled) == 2
+        for a, b in zip(pooled, solo):
+            assert a["Crash"].selected == b["Crash"].selected
+            assert a["Crash"].loss_db == b["Crash"].loss_db

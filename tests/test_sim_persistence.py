@@ -9,13 +9,16 @@ import pytest
 
 from repro.exceptions import ValidationError
 from repro.sim.persistence import (
+    PROVENANCE_SCHEMA,
+    build_provenance,
     load_cost_curve,
     load_effectiveness_sweep,
     save_cost_curve,
     save_effectiveness_sweep,
 )
 from repro.sim.sweep import CostEfficiencyCurve, EffectivenessSweep
-from repro.utils.serialization import dump
+from repro.utils.serialization import dump, load
+from repro.version import __version__
 
 
 @pytest.fixture
@@ -70,3 +73,54 @@ class TestCurveRoundTrip:
         save_effectiveness_sweep(sweep, target)
         with pytest.raises(ValidationError):
             load_cost_curve(target)
+
+
+class TestProvenance:
+    def test_build_provenance_fields(self, small_config):
+        block = build_provenance(
+            base_seed=7, num_trials=30, config=small_config, note="x"
+        )
+        assert block["schema"] == PROVENANCE_SCHEMA
+        assert block["code_version"] == __version__
+        assert block["base_seed"] == 7
+        assert block["num_trials"] == 30
+        assert block["config"]["snr_db"] == small_config.snr_db
+        assert block["note"] == "x"
+
+    def test_build_provenance_deterministic(self, small_config):
+        first = build_provenance(base_seed=7, num_trials=30, config=small_config)
+        second = build_provenance(base_seed=7, num_trials=30, config=small_config)
+        assert first == second
+
+    def test_sweep_provenance_saved_and_tolerated(self, sweep, tmp_path, small_config):
+        target = tmp_path / "sweep.json"
+        save_effectiveness_sweep(
+            sweep, target, provenance=build_provenance(base_seed=3, config=small_config)
+        )
+        raw = load(target)
+        assert raw["provenance"]["base_seed"] == 3
+        assert raw["provenance"]["config"]["channel"] == small_config.channel.value
+        loaded = load_effectiveness_sweep(target)  # loader ignores provenance
+        assert loaded.losses == sweep.losses
+
+    def test_old_files_without_provenance_still_load(self, sweep, tmp_path):
+        target = tmp_path / "old.json"
+        dump(
+            {
+                "kind": "effectiveness-sweep-v1",
+                "search_rates": sweep.search_rates,
+                "losses": sweep.losses,
+            },
+            target,
+        )
+        loaded = load_effectiveness_sweep(target)
+        assert loaded.losses == sweep.losses
+
+    def test_curve_provenance(self, tmp_path):
+        curve = CostEfficiencyCurve(
+            target_losses_db=[1.0], required_rates={"Random": [0.5]}
+        )
+        target = tmp_path / "curve.json"
+        save_cost_curve(curve, target, provenance=build_provenance(num_trials=10))
+        assert load(target)["provenance"]["num_trials"] == 10
+        assert load_cost_curve(target).required_rates == curve.required_rates

@@ -61,6 +61,60 @@ class TestEffectivenessSweep:
             effectiveness_sweep(small_scenario, standard_schemes(), [1.5], 2)
 
 
+class TestStoreAdapter:
+    RATES = [0.2, 0.4]
+
+    def _specs(self):
+        from repro.sim.parallel import SchemeSpec
+
+        return {
+            "Random": SchemeSpec.of("Random"),
+            "Proposed": SchemeSpec.of("Proposed", measurements_per_slot=4),
+        }
+
+    def test_store_path_matches_direct(self, small_scenario, tmp_path):
+        specs = self._specs()
+        direct = effectiveness_sweep(
+            small_scenario,
+            {name: spec.build_factory() for name, spec in specs.items()},
+            self.RATES,
+            3,
+            base_seed=2,
+        )
+        stored = effectiveness_sweep(
+            small_scenario,
+            specs,
+            self.RATES,
+            3,
+            base_seed=2,
+            store=tmp_path / "store",
+            shard_trials=2,
+        )
+        assert stored.losses == direct.losses
+        assert stored.search_rates == direct.search_rates
+        # second run resumes from the store; still identical
+        resumed = effectiveness_sweep(
+            small_scenario,
+            specs,
+            self.RATES,
+            3,
+            base_seed=2,
+            store=tmp_path / "store",
+            shard_trials=2,
+        )
+        assert resumed.losses == direct.losses
+
+    def test_store_requires_scheme_specs(self, small_scenario, tmp_path):
+        with pytest.raises(ConfigurationError, match="SchemeSpec"):
+            effectiveness_sweep(
+                small_scenario,
+                standard_schemes(),
+                self.RATES,
+                2,
+                store=tmp_path / "store",
+            )
+
+
 class TestRequiredSearchRates:
     def test_monotone_in_target(self, sweep):
         """Laxer targets can only need fewer measurements."""

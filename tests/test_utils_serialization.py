@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
+import enum
+import os
 from pathlib import Path
 
 import numpy as np
@@ -10,6 +12,11 @@ import pytest
 
 from repro.types import BeamPair
 from repro.utils.serialization import dump, dumps, load, loads, to_jsonable
+
+
+class _Kind(enum.Enum):
+    ALPHA = "alpha"
+    BETA = 2
 
 
 @dataclasses.dataclass
@@ -54,6 +61,11 @@ class TestToJsonable:
         with pytest.raises(TypeError):
             to_jsonable(object())
 
+    def test_enum(self):
+        assert to_jsonable(_Kind.ALPHA) == "alpha"
+        assert to_jsonable(_Kind.BETA) == 2
+        assert to_jsonable({"k": _Kind.ALPHA}) == {"k": "alpha"}
+
 
 class TestRoundTrip:
     def test_dumps_loads(self):
@@ -68,3 +80,49 @@ class TestRoundTrip:
     def test_sorted_keys(self):
         text = dumps({"b": 1, "a": 2})
         assert text.index('"a"') < text.index('"b"')
+
+
+class TestAtomicDump:
+    """A crash mid-write must never leave a truncated or corrupt JSON."""
+
+    def test_no_temp_files_after_success(self, tmp_path: Path):
+        target = tmp_path / "out.json"
+        dump({"x": 1}, target)
+        dump({"x": 2}, target)  # overwrite goes through the same rename
+        assert load(target) == {"x": 2}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_interrupted_rename_keeps_old_content(self, tmp_path: Path, monkeypatch):
+        """Simulate a Ctrl-C landing exactly at the publish step."""
+        target = tmp_path / "out.json"
+        dump({"generation": 1}, target)
+
+        def interrupted_replace(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(os, "replace", interrupted_replace)
+        with pytest.raises(KeyboardInterrupt):
+            dump({"generation": 2}, target)
+        monkeypatch.undo()
+        assert load(target) == {"generation": 1}  # old file intact
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]  # no .tmp debris
+
+    def test_interrupted_write_keeps_old_content(self, tmp_path: Path, monkeypatch):
+        """Simulate the process dying while the temp file is being flushed."""
+        target = tmp_path / "out.json"
+        dump({"generation": 1}, target)
+
+        def failing_fsync(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        with pytest.raises(OSError):
+            dump({"generation": 2}, target)
+        monkeypatch.undo()
+        assert load(target) == {"generation": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_relative_path_without_directory(self, tmp_path: Path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        dump({"x": 1}, "bare.json")
+        assert load("bare.json") == {"x": 1}
