@@ -32,6 +32,13 @@ semantics, and fault-injection knobs.
 """
 
 from repro.campaign.assemble import assemble_effectiveness_sweep
+from repro.campaign.health import (
+    DEFAULT_STALL_FACTOR,
+    CampaignHealth,
+    ShardHealth,
+    campaign_health,
+    render_campaign_health,
+)
 from repro.campaign.plan import (
     DEFAULT_SHARD_TRIALS,
     CampaignPlan,
@@ -48,7 +55,7 @@ from repro.campaign.scheduler import (
     campaign_status,
     run_campaign,
 )
-from repro.campaign.store import ShardStore
+from repro.campaign.store import HEARTBEAT_SCHEMA, ShardStore
 from repro.exceptions import CampaignAborted, CampaignError, ShardExecutionError
 
 __all__ = [
@@ -65,6 +72,12 @@ __all__ = [
     "campaign_status",
     "run_campaign",
     "ShardStore",
+    "HEARTBEAT_SCHEMA",
+    "CampaignHealth",
+    "ShardHealth",
+    "campaign_health",
+    "render_campaign_health",
+    "DEFAULT_STALL_FACTOR",
     "assemble_effectiveness_sweep",
     "CampaignAborted",
     "CampaignError",

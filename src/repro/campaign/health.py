@@ -1,0 +1,277 @@
+"""Live campaign health: heartbeat classification, stall detection, ETA.
+
+The scheduler publishes one heartbeat record per shard (see
+:meth:`~repro.campaign.store.ShardStore.write_heartbeat`); this module
+folds heartbeats and artifact state into a single health view that both
+``repro campaign watch`` (refreshing TTY dashboard) and
+``repro campaign status --json`` (CI consumption) render.
+
+Per-shard states:
+
+* ``done`` — a valid artifact exists;
+* ``running`` / ``retrying`` — a live heartbeat says so and no artifact
+  has landed yet;
+* ``stalled`` — heartbeat-silent: a running/retrying shard whose last
+  heartbeat is older than ``stall_factor`` x the median completed-shard
+  duration (with a floor, so short campaigns do not flap);
+* ``failed`` — the artifact is corrupt, or the heartbeat reports a
+  permanent failure;
+* ``pending`` — nothing has touched the shard yet.
+
+A crashed-then-resumed campaign needs no special casing: the stale
+``running`` heartbeat from the killed process classifies as ``stalled``
+until the resumed run either rewrites it or publishes the artifact, at
+which point the shard is simply ``done``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.campaign.plan import CampaignPlan
+from repro.campaign.store import ShardStore
+from repro.obs.metrics import percentile
+
+__all__ = [
+    "ShardHealth",
+    "CampaignHealth",
+    "campaign_health",
+    "render_campaign_health",
+    "DEFAULT_STALL_FACTOR",
+    "MIN_STALL_SECONDS",
+]
+
+#: A shard is stalled when its heartbeat is older than this multiple of
+#: the median completed-shard duration.
+DEFAULT_STALL_FACTOR = 4.0
+
+#: Floor for the stall threshold: with sub-second shards, scheduling
+#: jitter alone would otherwise flag healthy shards.
+MIN_STALL_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's current state as seen through store + heartbeats."""
+
+    index: int
+    digest: str
+    search_rate: float
+    trial_start: int
+    trial_count: int
+    state: str  # done | running | retrying | stalled | failed | pending
+    attempt: int = 0
+    age_s: Optional[float] = None  # seconds since the last heartbeat
+    duration_s: Optional[float] = None  # completed shards only
+    error: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "digest": self.digest,
+            "search_rate": self.search_rate,
+            "trial_start": self.trial_start,
+            "trial_count": self.trial_count,
+            "state": self.state,
+            "attempt": self.attempt,
+            "age_s": self.age_s,
+            "duration_s": self.duration_s,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignHealth:
+    """The whole campaign's health: per-shard states plus the roll-up."""
+
+    plan_digest: str
+    shards: Tuple[ShardHealth, ...]
+    stall_threshold_s: float
+    median_shard_s: Optional[float]
+    eta_s: Optional[float]
+
+    def count(self, state: str) -> int:
+        return sum(1 for shard in self.shards if shard.state == state)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        states = ("done", "running", "retrying", "stalled", "failed", "pending")
+        return {state: self.count(state) for state in states}
+
+    @property
+    def total(self) -> int:
+        return len(self.shards)
+
+    @property
+    def done_trials(self) -> int:
+        return sum(s.trial_count for s in self.shards if s.state == "done")
+
+    @property
+    def total_trials(self) -> int:
+        return sum(s.trial_count for s in self.shards)
+
+    @property
+    def complete(self) -> bool:
+        return all(shard.state == "done" for shard in self.shards)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable view (``repro campaign status --json``)."""
+        return {
+            "plan": self.plan_digest,
+            "complete": self.complete,
+            "counts": self.counts,
+            "total_shards": self.total,
+            "done_trials": self.done_trials,
+            "total_trials": self.total_trials,
+            "median_shard_s": self.median_shard_s,
+            "stall_threshold_s": self.stall_threshold_s,
+            "eta_s": self.eta_s,
+            "shards": [shard.to_payload() for shard in self.shards],
+        }
+
+
+def _median_done_duration(heartbeats: Mapping[str, Mapping[str, Any]]) -> Optional[float]:
+    durations = [
+        float(record["duration_s"])
+        for record in heartbeats.values()
+        if record.get("status") == "done" and record.get("duration_s") is not None
+    ]
+    if not durations:
+        return None
+    return percentile(durations, 0.5)
+
+
+def campaign_health(
+    plan: CampaignPlan,
+    store: ShardStore,
+    now_unix_s: Optional[float] = None,
+    stall_factor: float = DEFAULT_STALL_FACTOR,
+) -> CampaignHealth:
+    """Classify every shard of ``plan`` with heartbeat-aware states.
+
+    ``now_unix_s`` is injectable for tests (defaults to wall clock).
+    Artifact truth wins over heartbeat claims: a shard with a valid
+    artifact is ``done`` no matter what its heartbeat says, and a corrupt
+    artifact is ``failed`` even with a fresh heartbeat.
+    """
+    now = time.time() if now_unix_s is None else now_unix_s
+    heartbeats = store.read_heartbeats(plan.digest)
+    median_s = _median_done_duration(heartbeats)
+    stall_threshold_s = max(
+        MIN_STALL_SECONDS, stall_factor * median_s if median_s else MIN_STALL_SECONDS
+    )
+
+    shards: List[ShardHealth] = []
+    for index, shard in enumerate(plan.shards):
+        digest = shard.digest
+        verdict = store.classify(shard)
+        beat = heartbeats.get(digest)
+        attempt = int(beat.get("attempt", 0)) if beat else 0
+        age_s = (
+            max(0.0, now - float(beat.get("updated_unix_s", now))) if beat else None
+        )
+        duration_s = (
+            float(beat["duration_s"])
+            if beat and beat.get("duration_s") is not None
+            else None
+        )
+        error = beat.get("error") if beat else None
+
+        if verdict == "done":
+            state = "done"
+        elif verdict == "failed":
+            state = "failed"
+        elif beat is None:
+            state = "pending"
+        else:
+            status = beat.get("status", "")
+            if status == "failed":
+                state = "failed"
+            elif status in ("running", "retrying"):
+                state = "stalled" if age_s is not None and age_s > stall_threshold_s else status
+            elif status == "done":
+                # Heartbeat says done but the artifact is gone (gc'd or
+                # lost): the shard must re-run.
+                state = "pending"
+            else:
+                state = "pending"
+        shards.append(
+            ShardHealth(
+                index=index,
+                digest=digest,
+                search_rate=shard.search_rate,
+                trial_start=shard.trial_start,
+                trial_count=shard.trial_count,
+                state=state,
+                attempt=attempt,
+                age_s=age_s,
+                duration_s=duration_s,
+                error=error if isinstance(error, str) else None,
+            )
+        )
+
+    remaining = [s for s in shards if s.state not in ("done",)]
+    eta_s = median_s * len(remaining) if median_s is not None and remaining else None
+    return CampaignHealth(
+        plan_digest=plan.digest,
+        shards=tuple(shards),
+        stall_threshold_s=stall_threshold_s,
+        median_shard_s=median_s,
+        eta_s=eta_s,
+    )
+
+
+def _format_age(age_s: Optional[float]) -> str:
+    if age_s is None:
+        return "-"
+    if age_s >= 3600:
+        return f"{age_s / 3600:.1f}h"
+    if age_s >= 60:
+        return f"{age_s / 60:.1f}m"
+    return f"{age_s:.1f}s"
+
+
+def render_campaign_health(health: CampaignHealth, title: str = "") -> str:
+    """Render one campaign's health as a fixed-width TTY dashboard."""
+    heading = title or f"campaign {health.plan_digest[:12]}"
+    counts = health.counts
+    lines = [
+        heading,
+        "=" * len(heading),
+        (
+            f"shards: {counts['done']} done / {counts['running']} running /"
+            f" {counts['retrying']} retrying / {counts['stalled']} stalled /"
+            f" {counts['failed']} failed / {counts['pending']} pending"
+            f" (of {health.total})"
+        ),
+        f"trials: {health.done_trials}/{health.total_trials}",
+    ]
+    if health.median_shard_s is not None:
+        lines.append(
+            f"median shard {health.median_shard_s:.2f}s;"
+            f" stall threshold {health.stall_threshold_s:.1f}s"
+        )
+    if health.eta_s is not None:
+        lines.append(f"eta ~{_format_age(health.eta_s)} (serial, median-based)")
+    attention = [
+        shard
+        for shard in health.shards
+        if shard.state in ("running", "retrying", "stalled", "failed")
+    ]
+    if attention:
+        lines.append("")
+        lines.append(
+            f"{'shard':>5s} {'rate':>6s} {'trials':>11s} {'state':>9s}"
+            f" {'attempt':>7s} {'beat age':>9s}"
+        )
+        for shard in attention:
+            trials = f"[{shard.trial_start},{shard.trial_start + shard.trial_count})"
+            lines.append(
+                f"{shard.index:5d} {shard.search_rate:6.2f} {trials:>11s}"
+                f" {shard.state:>9s} {shard.attempt:7d} {_format_age(shard.age_s):>9s}"
+            )
+    if health.complete:
+        lines.append("campaign complete")
+    return "\n".join(lines) + "\n"

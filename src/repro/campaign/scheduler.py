@@ -176,6 +176,7 @@ def run_campaign(
     timeout_s: Optional[float] = None,
     fault_injector: Optional[FaultInjector] = None,
     progress: Optional[ProgressCallback] = None,
+    heartbeats: bool = True,
 ) -> CampaignReport:
     """Execute every pending shard of ``plan``; skip completed ones.
 
@@ -188,6 +189,14 @@ def run_campaign(
     and the campaign continues; :class:`ShardExecutionError` is raised at
     the end if any shard permanently failed.
 
+    ``heartbeats`` (default on) publishes one liveness record per shard
+    into the store's ``heartbeats/`` subtree — running/retrying/done/
+    failed, with timestamps — which is what ``repro campaign watch`` and
+    ``status --json`` read. Heartbeats are strictly observational: they
+    live outside the artifact tree, never feed back into the
+    computation, and a heartbeat write failure only logs a warning —
+    results are bit-identical with heartbeats on or off.
+
     Safe to call repeatedly with the same arguments: completed shards are
     skipped, so this is also the *resume* entry point.
     """
@@ -197,6 +206,23 @@ def run_campaign(
         raise ConfigurationError(f"batch_trials must be >= 1, got {batch_trials}")
     recorder = get_recorder()
     store.save_manifest(plan)
+
+    def beat(shard: ShardSpec, index: int, status: str, **extra) -> None:
+        """Publish one liveness record; never let it fail the campaign."""
+        if not heartbeats:
+            return
+        try:
+            store.write_heartbeat(
+                plan.digest,
+                shard.digest,
+                status,
+                shard_index=index,
+                trial_count=shard.trial_count,
+                **extra,
+            )
+            recorder.increment("campaign.heartbeats")
+        except OSError as error:  # pragma: no cover - disk-full/permissions
+            logger.warning("heartbeat write failed for shard %d: %s", index, error)
     reporter = ProgressReporter(plan.total_trials, progress, label="campaign")
     pooled = max_workers is not None and max_workers > 1
     logger.info(
@@ -264,6 +290,8 @@ def run_campaign(
 
             for index, shard in pending:
                 losses: Optional[Dict[str, List[float]]] = None
+                shard_started = time.time()
+                beat(shard, index, "running", started_unix_s=shard_started)
                 with recorder.span(
                     "campaign.shard",
                     digest=shard.digest,
@@ -300,6 +328,14 @@ def run_campaign(
                                 )
                                 recorder.increment("campaign.shards_failed")
                                 failed.append(shard.digest)
+                                beat(
+                                    shard,
+                                    index,
+                                    "failed",
+                                    attempt=attempt,
+                                    started_unix_s=shard_started,
+                                    error=str(error),
+                                )
                                 break
                             retry_count += 1
                             recorder.increment("campaign.retries")
@@ -307,6 +343,13 @@ def run_campaign(
                                 "campaign.shard_retry",
                                 digest=shard.digest,
                                 attempt=attempt,
+                            )
+                            beat(
+                                shard,
+                                index,
+                                "retrying",
+                                attempt=attempt,
+                                started_unix_s=shard_started,
                             )
                             logger.warning(
                                 "shard %s attempt %d failed (%s); retrying",
@@ -325,6 +368,14 @@ def run_campaign(
                     done_trials += shard.trial_count
                     recorder.increment("campaign.shards_executed")
                     shard_span.annotate(attempts=attempt + 1)
+                    beat(
+                        shard,
+                        index,
+                        "done",
+                        attempt=attempt,
+                        started_unix_s=shard_started,
+                        duration_s=time.time() - shard_started,
+                    )
                 reporter.report(done_trials)
                 if fault_injector is not None:
                     fault_injector.after_shard(index)

@@ -2,8 +2,9 @@
 
 Layout under the store root::
 
-    shards/<digest>.json      one completed shard result
-    manifests/<digest>.json   one campaign plan (written at run start)
+    shards/<digest>.json               one completed shard result
+    manifests/<digest>.json            one campaign plan (written at run start)
+    heartbeats/<plan>/<digest>.json    one shard's liveness record (timestamps)
 
 A shard artifact carries a provenance header (schema, code version, base
 seed, scenario config), the full shard spec, and the per-scheme loss
@@ -18,6 +19,8 @@ resumed campaign's store is byte-identical to an uninterrupted one.
 
 from __future__ import annotations
 
+import os
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Union
 
@@ -26,13 +29,19 @@ from repro.obs import get_logger
 from repro.utils.serialization import dump, load
 from repro.version import __version__
 
-__all__ = ["ShardStore", "ShardArtifactStatus"]
+__all__ = ["ShardStore", "ShardArtifactStatus", "HEARTBEAT_SCHEMA"]
 
 logger = get_logger("campaign.store")
 
 #: ``classify`` verdicts: artifact present and valid / absent / present
 #: but unreadable or inconsistent.
 ShardArtifactStatus = str  # "done" | "pending" | "failed"
+
+#: Heartbeat record schema version. Heartbeats are *liveness* metadata —
+#: unlike shard artifacts they deliberately carry wall-clock timestamps,
+#: live in their own subtree, and never feed back into results, so the
+#: store's deterministic-bytes guarantee for artifacts is untouched.
+HEARTBEAT_SCHEMA = "repro.campaign.heartbeat/1"
 
 
 class ShardStore:
@@ -42,6 +51,7 @@ class ShardStore:
         self.root = Path(root)
         self.shard_dir = self.root / "shards"
         self.manifest_dir = self.root / "manifests"
+        self.heartbeat_root = self.root / "heartbeats"
         self.shard_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_dir.mkdir(parents=True, exist_ok=True)
 
@@ -137,6 +147,89 @@ class ShardStore:
     def list_digests(self) -> List[str]:
         """Digests of every artifact file present (valid or not)."""
         return sorted(path.stem for path in self.shard_dir.glob("*.json"))
+
+    # -- heartbeats ----------------------------------------------------
+
+    def heartbeat_dir(self, plan_digest: str) -> Path:
+        """Where one campaign's heartbeat records live (may not exist)."""
+        return self.heartbeat_root / plan_digest
+
+    def heartbeat_path(self, plan_digest: str, shard_digest: str) -> Path:
+        return self.heartbeat_dir(plan_digest) / f"{shard_digest}.json"
+
+    def write_heartbeat(
+        self,
+        plan_digest: str,
+        shard_digest: str,
+        status: str,
+        *,
+        shard_index: int,
+        attempt: int = 0,
+        started_unix_s: Optional[float] = None,
+        updated_unix_s: Optional[float] = None,
+        duration_s: Optional[float] = None,
+        trial_count: Optional[int] = None,
+        error: Optional[str] = None,
+    ) -> Path:
+        """Atomically publish one shard's liveness record.
+
+        ``status`` is ``running`` / ``retrying`` / ``done`` / ``failed``.
+        Written through the same atomic :func:`~repro.utils.serialization.dump`
+        as artifacts, with a provenance stamp (schema + code version), so
+        watchers never read a torn record.
+        """
+        directory = self.heartbeat_dir(plan_digest)
+        directory.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        record = {
+            "kind": "campaign-heartbeat-v1",
+            "schema": HEARTBEAT_SCHEMA,
+            "code_version": __version__,
+            "plan": plan_digest,
+            "shard": shard_digest,
+            "shard_index": shard_index,
+            "status": status,
+            "attempt": attempt,
+            "pid": os.getpid(),
+            "started_unix_s": started_unix_s if started_unix_s is not None else now,
+            "updated_unix_s": updated_unix_s if updated_unix_s is not None else now,
+        }
+        if duration_s is not None:
+            record["duration_s"] = duration_s
+        if trial_count is not None:
+            record["trial_count"] = trial_count
+        if error is not None:
+            record["error"] = error
+        path = self.heartbeat_path(plan_digest, shard_digest)
+        dump(record, path)
+        return path
+
+    def read_heartbeats(self, plan_digest: str) -> Dict[str, dict]:
+        """Every readable heartbeat for one campaign, keyed by shard digest.
+
+        Unreadable or mis-shaped records are skipped with a warning — a
+        watcher must keep rendering through a half-written store.
+        """
+        directory = self.heartbeat_dir(plan_digest)
+        if not directory.is_dir():
+            return {}
+        records: Dict[str, dict] = {}
+        for path in sorted(directory.glob("*.json")):
+            try:
+                record = load(path)
+            except (OSError, ValueError) as error:
+                logger.warning("unreadable heartbeat %s: %s", path, error)
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("kind") != "campaign-heartbeat-v1"
+                or not isinstance(record.get("shard"), str)
+                or not isinstance(record.get("status"), str)
+            ):
+                logger.warning("inconsistent heartbeat %s", path)
+                continue
+            records[record["shard"]] = record
+        return records
 
     # -- manifests -----------------------------------------------------
 

@@ -9,11 +9,17 @@
     repro run fig6 --batch-trials 32            # batched trial engine
     repro run fig6 --store results/c6           # checkpointed (resumable) run
     repro run fig6 --trace out.jsonl --progress  # JSONL trace + ETA lines
+    repro run fig6 --profile                    # cProfile hotspot tables
+    repro run fig6 --trace t.jsonl --openmetrics m.prom  # scrapeable metrics
     repro trace summarize out.jsonl             # timing/convergence tables
+    repro trace export out.jsonl --format chrome  # chrome://tracing JSON
+    repro metrics export out.jsonl              # OpenMetrics text exposition
     repro align --channel multipath --rate 0.1  # one alignment, verbose
     repro report results/ --out REPORT.md       # fold saved JSONs into markdown
     repro campaign run --store results/camp --trials 100   # sharded sweep
     repro campaign status --store results/camp  # done/pending/failed shards
+    repro campaign status --store results/camp --json  # health JSON for CI
+    repro campaign watch --store results/camp   # refreshing TTY dashboard
     repro campaign resume --store results/camp --trials 100  # pick up where left
     repro campaign gc --store results/camp      # drop corrupt/orphaned shards
 
@@ -82,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--trace", default=None, help="write a structured JSONL trace to this path"
     )
+    _add_profile_arguments(run_cmd)
+    run_cmd.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="PATH",
+        help=(
+            "publish metrics as an OpenMetrics exposition file"
+            " (periodically flushed when tracing, final snapshot otherwise)"
+        ),
+    )
     run_cmd.add_argument(
         "--progress",
         action="store_true",
@@ -148,7 +164,39 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="report done/pending/failed shard counts per recorded campaign"
     )
     status_cmd.add_argument("--store", required=True, metavar="DIR")
+    status_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit heartbeat-aware health as JSON (for CI / scripting)",
+    )
+    status_cmd.add_argument(
+        "--stall-factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="flag shards stalled after F x the median shard time (default 4)",
+    )
     status_cmd.set_defaults(handler=_handle_campaign_status)
+
+    watch_cmd = campaign_sub.add_parser(
+        "watch", help="refreshing TTY dashboard of live campaign health"
+    )
+    watch_cmd.add_argument("--store", required=True, metavar="DIR")
+    watch_cmd.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="refresh period in seconds (default 2)",
+    )
+    watch_cmd.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    watch_cmd.add_argument(
+        "--stall-factor",
+        type=float,
+        default=None,
+        metavar="F",
+        help="flag shards stalled after F x the median shard time (default 4)",
+    )
+    watch_cmd.set_defaults(handler=_handle_campaign_watch)
 
     gc_cmd = campaign_sub.add_parser(
         "gc", help="remove corrupt artifacts and shards no recorded campaign references"
@@ -178,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     align_cmd.add_argument(
         "--trace", default=None, help="write a structured JSONL trace to this path"
     )
+    _add_profile_arguments(align_cmd)
     align_cmd.set_defaults(handler=_handle_align)
 
     trace_cmd = commands.add_parser("trace", help="inspect structured JSONL traces")
@@ -187,8 +236,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize_cmd.add_argument("trace_file", help="JSONL trace written by --trace")
     summarize_cmd.set_defaults(handler=_handle_trace_summarize)
+    export_cmd = trace_sub.add_parser(
+        "export", help="convert a trace for external viewers"
+    )
+    export_cmd.add_argument("trace_file", help="JSONL trace written by --trace")
+    export_cmd.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="output format (chrome://tracing / Perfetto trace-event JSON)",
+    )
+    export_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: <trace_file>.chrome.json)",
+    )
+    export_cmd.set_defaults(handler=_handle_trace_export)
+
+    metrics_cmd = commands.add_parser(
+        "metrics", help="export aggregated metrics from structured traces"
+    )
+    metrics_sub = metrics_cmd.add_subparsers(dest="metrics_command", required=True)
+    metrics_export_cmd = metrics_sub.add_parser(
+        "export", help="render a trace's metrics as an OpenMetrics exposition"
+    )
+    metrics_export_cmd.add_argument("trace_file", help="JSONL trace written by --trace")
+    metrics_export_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the exposition here (default: stdout)",
+    )
+    metrics_export_cmd.set_defaults(handler=_handle_metrics_export)
 
     return parser
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    """The profiling options shared by ``run`` and ``align``."""
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run and print hotspot tables (composes with --trace)",
+    )
+    parser.add_argument(
+        "--profile-mode",
+        choices=["cprofile", "sample"],
+        default="cprofile",
+        help="deterministic cProfile or low-overhead wall-clock stack sampling",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rows per hotspot table (default 15)",
+    )
 
 
 def _handle_list(args: argparse.Namespace) -> int:
@@ -207,6 +311,50 @@ def _accepts_kwarg(func, name: str) -> bool:
     if name in parameters:
         return True
     return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
+
+
+def _build_recorder_stack(args: argparse.Namespace, stack: ExitStack):
+    """The recorder implied by --trace/--openmetrics/--profile.
+
+    Returns ``(recorder, profiler)`` where ``recorder`` is the outermost
+    recorder to install (or ``None`` when no diagnostics were requested)
+    and ``profiler`` is the :class:`ProfilingRecorder` when --profile is
+    on (it may also *be* the recorder). Raises ``OSError`` when the
+    trace file cannot be opened.
+    """
+    trace_path = getattr(args, "trace", None)
+    openmetrics_path = getattr(args, "openmetrics", None)
+    if trace_path:
+        recorder = stack.enter_context(
+            TraceRecorder(trace_path, openmetrics_path=openmetrics_path)
+        )
+    elif openmetrics_path or args.profile:
+        recorder = MetricsRecorder()
+    else:
+        return None, None
+    profiler = None
+    if args.profile:
+        from repro.obs import ProfilingRecorder
+
+        profiler = ProfilingRecorder(inner=recorder, mode=args.profile_mode)
+        recorder = profiler
+    return recorder, profiler
+
+
+def _finish_diagnostics(args: argparse.Namespace, recorder, profiler) -> None:
+    """Post-run output for --profile/--openmetrics (non-trace path)."""
+    if profiler is not None:
+        from repro.obs import render_profile
+
+        print()
+        print(render_profile(profiler, top=args.profile_top))
+    openmetrics_path = getattr(args, "openmetrics", None)
+    if openmetrics_path and not getattr(args, "trace", None):
+        from repro.obs import write_openmetrics
+
+        write_openmetrics(recorder.metrics, openmetrics_path)
+    if openmetrics_path:
+        print(f"\nwrote OpenMetrics exposition {openmetrics_path}")
 
 
 def _handle_run(args: argparse.Namespace) -> int:
@@ -244,16 +392,18 @@ def _handle_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     with ExitStack() as stack:
-        if args.trace:
-            try:
-                recorder = stack.enter_context(TraceRecorder(args.trace))
-            except OSError as error:
-                print(f"error: cannot write trace {args.trace}: {error}", file=sys.stderr)
-                return 2
+        try:
+            recorder, profiler = _build_recorder_stack(args, stack)
+        except OSError as error:
+            print(f"error: cannot write trace {args.trace}: {error}", file=sys.stderr)
+            return 2
+        if recorder is not None:
             stack.enter_context(use_recorder(recorder))
+        if args.trace:
             logger.info("tracing %s to %s", args.experiment, args.trace)
         result = experiments.run(args.experiment, **overrides)
     print(result.table)
+    _finish_diagnostics(args, recorder, profiler)
     if args.trace:
         print(f"\nwrote trace {args.trace} (inspect with `repro trace summarize`)")
     if args.json:
@@ -364,11 +514,26 @@ def _handle_campaign_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_health_kwargs(args: argparse.Namespace) -> dict:
+    return (
+        {"stall_factor": args.stall_factor} if args.stall_factor is not None else {}
+    )
+
+
 def _handle_campaign_status(args: argparse.Namespace) -> int:
-    from repro.campaign import ShardStore, campaign_status
+    from repro.campaign import ShardStore, campaign_health, campaign_status
 
     store = ShardStore(args.store)
     manifests = store.load_manifests()
+    if args.json:
+        import json
+
+        payload = [
+            campaign_health(plan, store, **_campaign_health_kwargs(args)).to_payload()
+            for _, plan in sorted(manifests.items())
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if not manifests:
         print(f"no campaigns recorded in {args.store}")
         return 0
@@ -383,6 +548,51 @@ def _handle_campaign_status(args: argparse.Namespace) -> int:
             f" rates {', '.join(f'{r:g}' for r in plan.search_rates)}"
         )
     return 0
+
+
+def _render_watch_frame(store, manifests, args):
+    """One dashboard frame; returns ``(text, all_complete)``."""
+    from repro.campaign import campaign_health, render_campaign_health
+
+    frames = []
+    complete = True
+    for _, plan in sorted(manifests.items()):
+        health = campaign_health(plan, store, **_campaign_health_kwargs(args))
+        complete = complete and health.complete
+        frames.append(render_campaign_health(health))
+    return "\n".join(frames), complete
+
+
+def _handle_campaign_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.campaign import ShardStore
+
+    store = ShardStore(args.store)
+    manifests = store.load_manifests()
+    if not manifests:
+        print(f"no campaigns recorded in {args.store}")
+        return 0
+    if args.once:
+        frame, _ = _render_watch_frame(store, manifests, args)
+        print(frame, end="")
+        return 0
+    try:
+        while True:
+            manifests = store.load_manifests()
+            frame, complete = _render_watch_frame(store, manifests, args)
+            # Clear screen + home cursor, then the frame; degrades to a
+            # scrolling log when piped.
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(frame)
+            sys.stdout.flush()
+            if complete:
+                return 0
+            _time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _handle_campaign_gc(args: argparse.Namespace) -> int:
@@ -425,7 +635,12 @@ def _handle_align(args: argparse.Namespace) -> int:
                 return 2
         else:
             recorder = MetricsRecorder()
-        stack.enter_context(use_recorder(recorder))
+        profiler = None
+        if args.profile:
+            from repro.obs import ProfilingRecorder
+
+            profiler = ProfilingRecorder(inner=recorder, mode=args.profile_mode)
+        stack.enter_context(use_recorder(profiler if profiler is not None else recorder))
         outcomes = run_trial(
             scenario,
             standard_schemes(),
@@ -440,6 +655,11 @@ def _handle_align(args: argparse.Namespace) -> int:
             f" {outcome.loss_db:8.2f} {outcome.result.measurements_used:9d}"
         )
     _print_solver_diagnostics(recorder)
+    if profiler is not None:
+        from repro.obs import render_profile
+
+        print()
+        print(render_profile(profiler, top=args.profile_top))
     if args.trace:
         print(f"\nwrote trace {args.trace} (inspect with `repro trace summarize`)")
     return 0
@@ -469,6 +689,41 @@ def _handle_trace_summarize(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_trace_summary(summary, title=f"Trace summary — {args.trace_file}"))
+    return 0
+
+
+def _handle_trace_export(args: argparse.Namespace) -> int:
+    from repro.obs import chrome_trace, read_trace, write_chrome_trace
+
+    out = args.out if args.out else f"{args.trace_file}.chrome.json"
+    try:
+        records = read_trace(args.trace_file)
+        payload = chrome_trace(records)
+        write_chrome_trace(records, out)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    events = len(payload["traceEvents"])
+    print(f"wrote {out} ({events} trace events; open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _handle_metrics_export(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, registry_from_trace, render_openmetrics
+
+    try:
+        registry = registry_from_trace(read_trace(args.trace_file))
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    text = render_openmetrics(registry)
+    if args.out:
+        from repro.obs import write_openmetrics
+
+        write_openmetrics(registry, args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 

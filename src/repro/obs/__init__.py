@@ -17,8 +17,21 @@ Typical use::
 See ``docs/observability.md`` for the event schema and recipes.
 """
 
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_from_file,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry, percentile, timer_stats
+from repro.obs.openmetrics import (
+    parse_openmetrics,
+    registry_from_trace,
+    render_openmetrics,
+    write_openmetrics,
+)
+from repro.obs.profile import PROFILE_MODES, ProfilingRecorder, render_profile
 from repro.obs.progress import (
     ProgressCallback,
     ProgressEvent,
@@ -62,6 +75,17 @@ __all__ = [
     "summarize_trace",
     "summarize_trace_file",
     "render_trace_summary",
+    "ProfilingRecorder",
+    "PROFILE_MODES",
+    "render_profile",
+    "chrome_trace",
+    "chrome_trace_from_file",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "registry_from_trace",
     "configure_logging",
     "get_logger",
 ]

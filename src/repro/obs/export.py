@@ -1,0 +1,185 @@
+"""Trace export: ``repro.obs/1`` JSONL → Chrome/Perfetto trace-event JSON.
+
+``chrome://tracing`` and https://ui.perfetto.dev consume the Trace Event
+Format: a JSON object with a ``traceEvents`` list whose entries carry a
+phase (``ph``), microsecond timestamps (``ts``/``dur``), and a process /
+thread coordinate (``pid``/``tid``). This module maps the repo's trace
+schema onto it:
+
+* ``span`` records become complete events (``ph="X"``); ``pid`` is the
+  worker id (``attrs["worker"]`` when present, else the main process
+  lane 0) and ``tid`` is the span's nesting depth, so the nested span
+  tree renders as stacked tracks;
+* ``event`` records become instant events (``ph="i"``);
+* ``counter`` and ``gauge`` records become counter events (``ph="C"``),
+  which the viewers plot as time series;
+* the header's schema/epoch ride along in ``otherData``, and metadata
+  events (``ph="M"``) name the process and depth tracks.
+
+:func:`validate_chrome_trace` is the schema check the tests and the CI
+diagnostics-smoke job run against exported files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.obs.trace import read_trace
+from repro.utils.serialization import to_jsonable
+
+__all__ = [
+    "chrome_trace",
+    "chrome_trace_from_file",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Phases this exporter emits (subset of the Trace Event Format).
+_PHASES = {"X", "i", "C", "M"}
+
+
+def _worker_pid(attrs: Mapping[str, Any]) -> int:
+    """The process lane: ``attrs["worker"]`` when an int, else main (0)."""
+    worker = attrs.get("worker") if isinstance(attrs, Mapping) else None
+    if isinstance(worker, bool) or not isinstance(worker, int):
+        return 0
+    return 1 + worker  # worker 0 gets lane 1; lane 0 is the main process
+
+
+def chrome_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Convert parsed ``repro.obs/1`` records into a trace-event payload."""
+    events: List[Dict[str, Any]] = []
+    other: Dict[str, Any] = {}
+    seen_lanes: Dict[int, set] = {}
+
+    for record in records:
+        kind = record.get("type")
+        name = str(record.get("name", ""))
+        attrs = record.get("attrs") or {}
+        if kind == "trace":
+            other["schema"] = record.get("schema")
+            other["epoch_unix_s"] = record.get("epoch_unix_s")
+        elif kind == "span":
+            pid = _worker_pid(attrs)
+            tid = int(record.get("depth", 0))
+            seen_lanes.setdefault(pid, set()).add(tid)
+            events.append(
+                {
+                    "name": name,
+                    "ph": "X",
+                    "ts": float(record.get("t0_s", 0.0)) * 1e6,
+                    "dur": float(record.get("dur_s", 0.0)) * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                    "cat": name.split(".", 1)[0] or "span",
+                    "args": to_jsonable(attrs),
+                }
+            )
+        elif kind == "event":
+            pid = _worker_pid(attrs)
+            seen_lanes.setdefault(pid, set()).add(0)
+            events.append(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "ts": float(record.get("t_s", 0.0)) * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "s": "p",  # process-scoped instant marker
+                    "cat": name.split(".", 1)[0] or "event",
+                    "args": to_jsonable(attrs),
+                }
+            )
+        elif kind in ("counter", "gauge"):
+            seen_lanes.setdefault(0, set()).add(0)
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": float(record.get("t_s", 0.0)) * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "cat": kind,
+                    "args": {"value": float(record.get("value", 0.0))},
+                }
+            )
+        # "summary" records are aggregate-only; OpenMetrics covers them.
+
+    metadata: List[Dict[str, Any]] = []
+    for pid in sorted(seen_lanes):
+        process = "main" if pid == 0 else f"worker {pid - 1}"
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro {process}"},
+            }
+        )
+        for tid in sorted(seen_lanes[pid]):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"span depth {tid}"},
+                }
+            )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def chrome_trace_from_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Parse one JSONL trace and convert it."""
+    return chrome_trace(read_trace(path))
+
+
+def write_chrome_trace(
+    records: Sequence[Mapping[str, Any]], path: Union[str, Path]
+) -> Path:
+    """Convert and write a trace-event JSON file; returns the path."""
+    payload = chrome_trace(records)
+    validate_chrome_trace(payload)
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a loadable trace-event dict.
+
+    Checks the JSON-object container shape, that every event carries the
+    required ``ph``/``ts``/``pid``/``tid`` fields with a known phase, and
+    that complete events carry a non-negative ``dur``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace needs a traceEvents list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            raise ValueError(f"traceEvents[{index}] has unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"traceEvents[{index}] has no name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"traceEvents[{index}] missing integer {field}")
+        if phase == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"traceEvents[{index}] missing numeric ts")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                raise ValueError(f"traceEvents[{index}] missing non-negative dur")

@@ -19,16 +19,30 @@ __all__ = ["MetricsRegistry", "timer_stats", "percentile"]
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1]).
+
+    ``fraction`` 0.0 and 1.0 are exactly the minimum and maximum, a
+    single-sample list returns that sample for every fraction, and an
+    empty sample list returns NaN (the caller decides what "no data"
+    means; :func:`timer_stats` maps it to 0.0). A fraction outside
+    [0, 1] is a programming error and raises ``ValueError`` instead of
+    being silently clamped.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction must be in [0, 1], got {fraction}")
     if not samples:
-        raise ValueError("percentile of an empty sample set")
+        return float("nan")
     ordered = sorted(samples)
     rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
     return float(ordered[rank])
 
 
 def timer_stats(samples: Sequence[float]) -> Dict[str, float]:
-    """Aggregate one timer's duration samples into summary statistics."""
+    """Aggregate one timer's duration samples into summary statistics.
+
+    Always NaN-free: an empty timer reports zero for every statistic, so
+    downstream renderers and JSON consumers never see NaN.
+    """
     count = len(samples)
     total = float(sum(samples))
     return {

@@ -1,0 +1,226 @@
+"""OpenMetrics text-format export of :class:`MetricsRegistry` contents.
+
+Long campaigns run for hours; a scrapeable metrics file lets node-exporter
+style collectors (textfile collector, Grafana agent) chart shard
+throughput and solver behaviour live. This module renders a registry as
+the OpenMetrics text format:
+
+* counters become ``<prefix>_<name>_total`` counter families;
+* gauges become gauge families;
+* timers become summary families (``_count``/``_sum`` plus ``quantile``
+  labelled p50/p95 samples), all in seconds.
+
+Metric names are sanitized to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset
+(dots and dashes become underscores) and the exposition always ends with
+the mandatory ``# EOF`` terminator. :func:`parse_openmetrics` is a small
+line parser used by the tests and the CI diagnostics-smoke job to check
+that exported files are well-formed; :func:`write_openmetrics` publishes
+atomically (temp file + rename) so a scraper never reads a half-written
+exposition.
+
+:func:`registry_from_trace` rebuilds a registry from ``repro.obs/1``
+records, which is what ``repro metrics export <trace.jsonl>`` uses.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry, percentile
+
+__all__ = [
+    "metric_name",
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "registry_from_trace",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted metric name into the OpenMetrics charset."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}"
+    if not _NAME_OK.match(cleaned):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    formatted = repr(float(value))
+    return formatted
+
+
+def render_openmetrics(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """One OpenMetrics exposition of the registry's current contents."""
+    lines: List[str] = []
+
+    for name in sorted(registry.counters):
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"# HELP {family} repro counter {name}")
+        lines.append(f"{family}_total {_format_value(registry.counters[name])}")
+
+    for name in sorted(registry.gauges):
+        family = metric_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"# HELP {family} repro gauge {name}")
+        lines.append(f"{family} {_format_value(registry.gauges[name])}")
+
+    for name in sorted(registry.timers):
+        samples = list(registry.timers[name])
+        family = metric_name(f"{name}_seconds", prefix)
+        lines.append(f"# TYPE {family} summary")
+        lines.append(f"# HELP {family} repro timer {name} (seconds)")
+        lines.append(f"{family}_count {len(samples)}")
+        lines.append(f"{family}_sum {_format_value(sum(samples))}")
+        if samples:
+            for quantile in (0.5, 0.95):
+                lines.append(
+                    f'{family}{{quantile="{quantile}"}} '
+                    f"{_format_value(percentile(samples, quantile))}"
+                )
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    registry: MetricsRegistry, path: Union[str, Path], prefix: str = "repro"
+) -> Path:
+    """Render and atomically publish one exposition file.
+
+    Same discipline as :func:`repro.utils.serialization.dump`: write to a
+    same-directory temp file and rename into place, so scrapers see
+    either the previous complete exposition or the new one.
+    """
+    target = Path(path)
+    text = render_openmetrics(registry, prefix=prefix)
+    directory = target.parent if str(target.parent) else Path(".")
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=directory,
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse an exposition into families; raises ``ValueError`` when malformed.
+
+    Returns ``{family: {"type": str, "samples": [(name, labels, value)]}}``.
+    Enforces the invariants the exporter relies on: every sample belongs
+    to a ``# TYPE``-declared family, values parse as floats, and the
+    exposition ends with ``# EOF``.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    for line_number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line == "# EOF":
+            if line_number != len(lines):
+                raise ValueError(f"line {line_number}: '# EOF' before end of exposition")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {line_number}: malformed TYPE line")
+            _, _, family, family_type = parts
+            if family_type not in ("counter", "gauge", "summary", "histogram", "info"):
+                raise ValueError(f"line {line_number}: unknown type {family_type!r}")
+            families[family] = {"type": family_type, "samples": []}
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {line_number}: unknown comment {line!r}")
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        labels: Dict[str, str] = {}
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                if "=" not in pair:
+                    raise ValueError(f"line {line_number}: malformed label {pair!r}")
+                key, _, raw = pair.partition("=")
+                labels[key.strip()] = raw.strip().strip('"')
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: non-numeric value {match.group('value')!r}"
+            ) from None
+        family = _owning_family(sample_name, families)
+        if family is None:
+            raise ValueError(
+                f"line {line_number}: sample {sample_name!r} has no TYPE declaration"
+            )
+        families[family]["samples"].append((sample_name, labels, value))
+    return families
+
+
+def _owning_family(
+    sample_name: str, families: Mapping[str, Mapping[str, Any]]
+) -> Optional[str]:
+    """The declared family a sample line belongs to, if any."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_total", "_count", "_sum", "_bucket", "_created"):
+        if sample_name.endswith(suffix):
+            stem = sample_name[: -len(suffix)]
+            if stem in families:
+                return stem
+    return None
+
+
+def registry_from_trace(
+    records: Sequence[Mapping[str, Any]],
+) -> MetricsRegistry:
+    """Fold ``repro.obs/1`` records back into a :class:`MetricsRegistry`.
+
+    Spans become timer samples, counters sum, gauges keep the last write
+    — the same aggregation a live :class:`MetricsRecorder` would have
+    produced during the run.
+    """
+    registry = MetricsRegistry()
+    for record in records:
+        kind = record.get("type")
+        name = str(record.get("name", ""))
+        if kind == "span":
+            registry.record_duration(name, float(record.get("dur_s", 0.0)))
+        elif kind == "counter":
+            registry.increment(name, float(record.get("value", 0.0)))
+        elif kind == "gauge":
+            registry.set_gauge(name, float(record.get("value", 0.0)))
+    return registry

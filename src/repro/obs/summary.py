@@ -19,14 +19,21 @@ __all__ = ["summarize_trace", "render_trace_summary", "summarize_trace_file"]
 #: convergence digest (their attrs carry ``iterations``/``converged``).
 SOLVER_SPAN_PREFIX = "solver."
 
+#: Span-name prefix of the campaign scheduler's spans
+#: (``campaign.run``, ``campaign.shard``).
+CAMPAIGN_SPAN_PREFIX = "campaign."
+
 
 def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
     """Aggregate parsed trace records into a summary dictionary.
 
-    Returns ``{"spans", "counters", "gauges", "events", "solvers"}``;
-    ``spans`` maps span name to :func:`~repro.obs.metrics.timer_stats`
-    output, ``solvers`` maps solver span name to iteration/convergence
-    statistics.
+    Returns ``{"spans", "counters", "gauges", "events", "solvers",
+    "parallel", "campaign"}``; ``spans`` maps span name to
+    :func:`~repro.obs.metrics.timer_stats` output, ``solvers`` maps
+    solver span name to iteration/convergence statistics, ``parallel``
+    digests the process-pool events (batches merged, pool breaks), and
+    ``campaign`` digests the scheduler's spans/counters (shards executed,
+    retries, fallbacks, attempts).
     """
     durations: Dict[str, List[float]] = {}
     counters: Dict[str, float] = {}
@@ -35,6 +42,7 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
     solver_iterations: Dict[str, List[float]] = {}
     solver_converged: Dict[str, int] = {}
     solver_total: Dict[str, int] = {}
+    shard_attempts: List[float] = []
 
     for record in records:
         kind = record.get("type")
@@ -48,6 +56,10 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
                     solver_iterations.setdefault(name, []).append(float(attrs["iterations"]))
                 if attrs.get("converged"):
                     solver_converged[name] = solver_converged.get(name, 0) + 1
+            elif name == "campaign.shard":
+                attrs = record.get("attrs") or {}
+                if "attempts" in attrs:
+                    shard_attempts.append(float(attrs["attempts"]))
         elif kind == "counter":
             counters[name] = counters.get(name, 0.0) + float(record.get("value", 0.0))
         elif kind == "gauge":
@@ -66,12 +78,45 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
             "converged_fraction": solver_converged.get(name, 0) / solves if solves else 0.0,
         }
 
+    parallel: Dict[str, float] = {}
+    parallel_runs = len(durations.get("run_trials_parallel", []))
+    if parallel_runs or any(name.startswith("parallel.") for name in events):
+        parallel = {
+            "runs": parallel_runs,
+            "batches_merged": events.get("parallel.batch_merged", 0),
+            "pool_breaks": events.get("parallel.pool_broken", 0),
+        }
+
+    campaign: Dict[str, float] = {}
+    has_campaign = any(
+        name.startswith(CAMPAIGN_SPAN_PREFIX) for name in durations
+    ) or any(name.startswith(CAMPAIGN_SPAN_PREFIX) for name in counters)
+    if has_campaign:
+        shards = durations.get("campaign.shard", [])
+        campaign = {
+            "runs": len(durations.get("campaign.run", [])),
+            "shards_executed": counters.get("campaign.shards_executed", 0.0),
+            "shards_skipped": counters.get("campaign.shards_skipped", 0.0),
+            "shards_failed": counters.get("campaign.shards_failed", 0.0),
+            "retries": counters.get("campaign.retries", 0.0),
+            "fallbacks": counters.get("campaign.fallbacks", 0.0),
+            "timeouts": events.get("campaign.shard_timeout", 0),
+            "pool_breaks": events.get("campaign.pool_broken", 0),
+            "heartbeats": counters.get("campaign.heartbeats", 0.0),
+            "mean_shard_s": sum(shards) / len(shards) if shards else 0.0,
+            "mean_attempts": (
+                sum(shard_attempts) / len(shard_attempts) if shard_attempts else 0.0
+            ),
+        }
+
     return {
         "spans": {name: timer_stats(samples) for name, samples in sorted(durations.items())},
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
         "events": dict(sorted(events.items())),
         "solvers": solvers,
+        "parallel": parallel,
+        "campaign": campaign,
     }
 
 
@@ -115,6 +160,38 @@ def render_trace_summary(summary: Mapping[str, Any], title: str = "Trace summary
                 f"{name[:32]:32s} {stats['solves']:7d} {stats['mean_iterations']:8.1f}"
                 f" {stats['max_iterations']:7.0f} {100 * stats['converged_fraction']:6.1f}%"
             )
+        lines.append("")
+
+    parallel = summary.get("parallel", {})
+    if parallel:
+        lines.append("parallel execution")
+        lines.append(
+            f"  runs {parallel.get('runs', 0):d}"
+            f"  batches merged {parallel.get('batches_merged', 0):d}"
+            f"  pool breaks {parallel.get('pool_breaks', 0):d}"
+        )
+        lines.append("")
+
+    campaign = summary.get("campaign", {})
+    if campaign:
+        lines.append("campaign scheduler")
+        lines.append(
+            f"  runs {campaign.get('runs', 0):d}"
+            f"  executed {campaign.get('shards_executed', 0):.0f}"
+            f"  skipped {campaign.get('shards_skipped', 0):.0f}"
+            f"  failed {campaign.get('shards_failed', 0):.0f}"
+        )
+        lines.append(
+            f"  retries {campaign.get('retries', 0):.0f}"
+            f"  fallbacks {campaign.get('fallbacks', 0):.0f}"
+            f"  timeouts {campaign.get('timeouts', 0):d}"
+            f"  pool breaks {campaign.get('pool_breaks', 0):d}"
+        )
+        lines.append(
+            f"  mean shard {_format_seconds(campaign.get('mean_shard_s', 0.0)).strip()}"
+            f"  mean attempts {campaign.get('mean_attempts', 0.0):.1f}"
+            f"  heartbeats {campaign.get('heartbeats', 0.0):.0f}"
+        )
         lines.append("")
 
     counters = summary.get("counters", {})

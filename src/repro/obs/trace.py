@@ -43,18 +43,30 @@ class TraceRecorder(MetricsRecorder):
     Usable as a context manager; :meth:`close` flushes the trailing
     metrics summary. Timestamps are monotonic seconds relative to
     recorder creation, anchored to wall-clock time in the header record.
+
+    ``openmetrics_path`` additionally publishes the metrics registry as
+    an OpenMetrics exposition file (atomically rewritten) at most once
+    per ``openmetrics_interval_s``, piggybacked on trace writes and
+    forced on close — a scrape target for long campaigns.
     """
 
     def __init__(
         self,
         path: Union[str, Path],
         metrics: "MetricsRegistry | None" = None,
+        openmetrics_path: "str | Path | None" = None,
+        openmetrics_interval_s: float = 5.0,
     ) -> None:
         super().__init__(metrics)
         self._path = Path(path)
         self._file = self._path.open("w", encoding="utf-8")
         self._t0 = perf_counter()
         self._closed = False
+        self._openmetrics_path = (
+            Path(openmetrics_path) if openmetrics_path is not None else None
+        )
+        self._openmetrics_interval_s = openmetrics_interval_s
+        self._openmetrics_last_flush: "float | None" = None
         self._write(
             {
                 "type": "trace",
@@ -75,6 +87,31 @@ class TraceRecorder(MetricsRecorder):
             return
         self._file.write(json.dumps(to_jsonable(record)) + "\n")
         self._file.flush()
+        self._maybe_flush_openmetrics()
+
+    def _maybe_flush_openmetrics(self, force: bool = False) -> None:
+        """Publish the registry as OpenMetrics at most once per interval.
+
+        Flushes piggyback on trace writes (no timer thread), so a stalled
+        run leaves a stale file — exactly the signal a staleness-aware
+        scraper alert wants. Export failures are swallowed: metrics
+        publishing must never take down the traced computation.
+        """
+        if self._openmetrics_path is None:
+            return
+        now = perf_counter()
+        last = self._openmetrics_last_flush
+        if not force and last is not None and (
+            now - last < self._openmetrics_interval_s
+        ):
+            return
+        self._openmetrics_last_flush = now
+        from repro.obs.openmetrics import write_openmetrics
+
+        try:
+            write_openmetrics(self.metrics, self._openmetrics_path)
+        except OSError:  # pragma: no cover - disk-full/permissions
+            pass
 
     # -- backend hooks --------------------------------------------------
 
@@ -107,6 +144,7 @@ class TraceRecorder(MetricsRecorder):
         if self._closed:
             return
         self._write({"type": "summary", "metrics": self.metrics.summary()})
+        self._maybe_flush_openmetrics(force=True)
         self._closed = True
         self._file.close()
 

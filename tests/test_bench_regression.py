@@ -264,3 +264,53 @@ class TestMain:
         entries = gate.load_baseline(gate.DEFAULT_BASELINE)
         assert gate.CALIBRATION_LABEL in entries
         assert all("mean_s" in stats for stats in entries.values())
+
+
+class TestTrajectoryArtifact:
+    """benchmarks/make_trajectory.py: BENCH_* label files -> BENCH_<tag>.json."""
+
+    def _session(self, bench_dir):
+        _write_bench(bench_dir, "alpha", 2e-3)
+        _write_bench(bench_dir, "beta", 4e-3)
+        _write_bench(bench_dir, "calibration", 1e-3)
+        return bench_dir
+
+    def test_builds_normalized_entries(self, bench_dir):
+        from benchmarks import make_trajectory
+
+        entries = make_trajectory.load_bench_files(self._session(bench_dir))
+        payload = make_trajectory.build_trajectory("PR5", entries)
+        assert payload["kind"] == "bench-trajectory-v1"
+        assert payload["tag"] == "PR5"
+        assert set(payload["entries"]) == {"alpha", "beta"}  # calibration split out
+        assert payload["entries"]["alpha"]["mean_normalized"] == pytest.approx(2.0)
+        assert payload["entries"]["beta"]["mean_normalized"] == pytest.approx(4.0)
+        assert payload["calibration"]["mean_s"] == pytest.approx(1e-3)
+
+    def test_main_writes_artifact_and_skips_itself(self, bench_dir):
+        from benchmarks import make_trajectory
+
+        self._session(bench_dir)
+        out = bench_dir / "BENCH_PR9.json"
+        argv = ["--tag", "PR9", "--bench-dir", str(bench_dir), "--out", str(out)]
+        assert make_trajectory.main(argv) == 0
+        first = json.loads(out.read_text(encoding="utf-8"))
+        # Re-running must not fold the previous artifact into itself.
+        assert make_trajectory.main(argv) == 0
+        assert json.loads(out.read_text(encoding="utf-8")) == first
+
+    def test_missing_bench_dir_fails(self, tmp_path):
+        from benchmarks import make_trajectory
+
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert make_trajectory.main(["--tag", "X", "--bench-dir", str(empty)]) == 1
+
+    def test_committed_trajectory_is_current_format(self):
+        from benchmarks import make_trajectory
+
+        committed = make_trajectory.REPO_ROOT / "BENCH_PR5.json"
+        payload = json.loads(committed.read_text(encoding="utf-8"))
+        assert payload["kind"] == "bench-trajectory-v1"
+        assert payload["version"] == make_trajectory.TRAJECTORY_VERSION
+        assert payload["entries"]

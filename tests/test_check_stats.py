@@ -1,0 +1,102 @@
+"""Unit tests of the statistical golden gate (benchmarks/check_stats.py).
+
+The compare half is exercised against synthetic stat tables (pass/fail
+tolerance, missing schemes/rates/stats); the compute half is exercised
+once against the committed golden file, which doubles as the
+keep-the-golden-honest check: if a science change shifts the seeded
+statistics without ``--update``, tier-1 fails here before CI does.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from benchmarks import check_stats as gate
+
+
+def _table(mean=1.0, p50=0.9, p95=1.5):
+    return {
+        "Random": {"0.1": {"mean_db": mean, "p50_db": p50, "p95_db": p95}},
+        "Proposed": {"0.1": {"mean_db": mean / 2, "p50_db": p50 / 2, "p95_db": p95 / 2}},
+    }
+
+
+class TestCompare:
+    def test_identical_tables_pass(self):
+        golden = _table()
+        assert gate.compare(golden, copy.deepcopy(golden), 0.2) == []
+
+    def test_drift_within_tolerance_passes(self):
+        golden = _table()
+        session = copy.deepcopy(golden)
+        session["Random"]["0.1"]["mean_db"] += 0.19
+        assert gate.compare(golden, session, 0.2) == []
+
+    def test_drift_beyond_tolerance_fails(self):
+        golden = _table()
+        session = copy.deepcopy(golden)
+        session["Random"]["0.1"]["mean_db"] += 0.25
+        failures = gate.compare(golden, session, 0.2)
+        assert len(failures) == 1
+        assert "Random rate 0.1 mean_db" in failures[0]
+
+    def test_negative_drift_also_fails(self):
+        golden = _table()
+        session = copy.deepcopy(golden)
+        session["Proposed"]["0.1"]["p95_db"] -= 1.0
+        assert len(gate.compare(golden, session, 0.2)) == 1
+
+    def test_missing_scheme_fails(self):
+        golden = _table()
+        session = copy.deepcopy(golden)
+        del session["Proposed"]
+        failures = gate.compare(golden, session, 0.2)
+        assert any("missing" in f for f in failures)
+
+    def test_missing_rate_fails(self):
+        golden = _table()
+        session = copy.deepcopy(golden)
+        del session["Random"]["0.1"]
+        failures = gate.compare(golden, session, 0.2)
+        assert any("Random rate 0.1" in f for f in failures)
+
+    def test_missing_stat_fails(self):
+        golden = _table()
+        session = copy.deepcopy(golden)
+        del session["Random"]["0.1"]["p50_db"]
+        failures = gate.compare(golden, session, 0.2)
+        assert any("p50_db: missing" in f for f in failures)
+
+
+class TestGoldenFile:
+    def test_golden_roundtrip(self, tmp_path):
+        path = tmp_path / "golden.json"
+        entries = _table()
+        gate.write_golden(path, entries)
+        assert gate.load_golden(path) == entries
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == gate.GOLDEN_VERSION
+        assert payload["workload"] == gate.WORKLOAD
+
+    def test_main_update_then_pass_then_inject_fail(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        assert gate.main(["--update", "--golden", str(golden)]) == 0
+        assert gate.main(["--golden", str(golden)]) == 0
+        assert (
+            gate.main(["--golden", str(golden), "--inject-perturbation", "1.0"]) == 1
+        )
+
+    def test_missing_golden_fails(self, tmp_path):
+        assert gate.main(["--golden", str(tmp_path / "absent.json")]) == 1
+
+
+class TestCommittedGolden:
+    def test_seeded_stats_match_committed_golden(self):
+        """The committed golden must stay in sync with the code's science."""
+        session = gate.compute_stats()
+        golden = gate.load_golden(gate.DEFAULT_GOLDEN)
+        assert gate.compare(golden, session, gate.DEFAULT_TOLERANCE_DB) == []
+
+    def test_compute_stats_is_deterministic(self):
+        assert gate.compute_stats() == gate.compute_stats()

@@ -232,3 +232,106 @@ class TestTracing:
         assert main(["run", "fig6", "--quick", "--trials", "2", "--progress"]) == 0
         err = capsys.readouterr().err
         assert "sweep:" in err
+
+
+class TestDiagnosticsCli:
+    def test_profile_parser_options(self):
+        args = build_parser().parse_args(
+            ["run", "fig6", "--profile", "--profile-mode", "sample", "--profile-top", "5"]
+        )
+        assert args.profile
+        assert args.profile_mode == "sample"
+        assert args.profile_top == 5
+
+    def test_trace_export_parser_options(self):
+        args = build_parser().parse_args(
+            ["trace", "export", "t.jsonl", "--format", "chrome", "--out", "t.json"]
+        )
+        assert args.trace_file == "t.jsonl"
+        assert args.format == "chrome"
+        assert args.out == "t.json"
+
+    def test_campaign_watch_parser_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "watch", "--store", "s", "--once", "--interval", "0.5"]
+        )
+        assert args.campaign_command == "watch"
+        assert args.once
+        assert args.interval == 0.5
+
+    def test_run_with_profile_prints_hotspots(self, capsys):
+        assert main(["run", "fig6", "--quick", "--trials", "2", "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "Profile hotspots" in output
+        assert "mode=cprofile" in output
+
+    def test_run_with_openmetrics_writes_exposition(self, capsys, tmp_path: Path):
+        from repro.obs import parse_openmetrics
+
+        metrics_path = tmp_path / "m.prom"
+        assert (
+            main(
+                ["run", "fig6", "--quick", "--trials", "2", "--openmetrics", str(metrics_path)]
+            )
+            == 0
+        )
+        families = parse_openmetrics(metrics_path.read_text(encoding="utf-8"))
+        assert any(name.startswith("repro_scheme_") for name in families)
+
+    def test_trace_export_chrome_validates(self, capsys, tmp_path: Path):
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["run", "fig6", "--quick", "--trials", "2", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "t.chrome.json"
+        assert main(["trace", "export", str(trace_path), "--out", str(out_path)]) == 0
+        assert "trace events" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        validate_chrome_trace(payload)
+
+    def test_trace_export_missing_file_errors(self, capsys, tmp_path: Path):
+        assert main(["trace", "export", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_export_stdout(self, capsys, tmp_path: Path):
+        from repro.obs import parse_openmetrics
+
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["run", "fig6", "--quick", "--trials", "2", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "export", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        families = parse_openmetrics(output)
+        assert any(name.startswith("repro_") for name in families)
+
+    def test_campaign_status_json(self, capsys, tmp_path: Path):
+        store = tmp_path / "store"
+        argv = [
+            "campaign", "run", "--store", str(store),
+            "--rates", "0.05", "--trials", "1", "--shard-trials", "1",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["complete"] is True
+        assert payload[0]["counts"]["done"] == 1
+
+    def test_campaign_watch_once(self, capsys, tmp_path: Path):
+        store = tmp_path / "store"
+        argv = [
+            "campaign", "run", "--store", str(store),
+            "--rates", "0.05", "--trials", "1", "--shard-trials", "1",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["campaign", "watch", "--store", str(store), "--once"]) == 0
+        output = capsys.readouterr().out
+        assert "campaign complete" in output
+        assert "shards: 1 done" in output
+
+    def test_campaign_watch_empty_store(self, capsys, tmp_path: Path):
+        assert main(["campaign", "watch", "--store", str(tmp_path / "none"), "--once"]) == 0
+        assert "no campaigns recorded" in capsys.readouterr().out

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
@@ -82,13 +83,50 @@ class TestMetricsRegistry:
         assert percentile(samples, 1.0) == 100.0
         assert percentile(samples, 0.5) == pytest.approx(50.0, abs=1.0)
         assert percentile(samples, 0.95) == pytest.approx(95.0, abs=1.0)
-        with pytest.raises(ValueError):
-            percentile([], 0.5)
 
-    def test_timer_stats_empty(self):
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+        assert math.isnan(percentile([], 0.0))
+        assert math.isnan(percentile([], 1.0))
+
+    def test_percentile_single_sample(self):
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert percentile([3.25], fraction) == 3.25
+
+    def test_percentile_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.01)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.01)
+
+    def test_timer_stats_empty_is_nan_free(self):
         stats = timer_stats([])
         assert stats["count"] == 0
-        assert stats["mean_s"] == 0.0
+        for value in stats.values():
+            assert value == 0.0
+            assert not math.isnan(value)
+
+    def test_merge_snapshot_json_roundtrip_three_ways(self):
+        # Snapshots cross process boundaries as JSON in the campaign
+        # layer; merging >= 2 of them must sum counters and keep the
+        # last-merged gauge.
+        snapshots = []
+        for index in range(3):
+            registry = MetricsRegistry()
+            registry.increment("trials", index + 1)  # 1 + 2 + 3 = 6
+            registry.record_duration("solve", 0.1 * (index + 1))
+            registry.set_gauge("loss_db", float(index))
+            snapshots.append(json.loads(json.dumps(registry.snapshot())))
+        merged = MetricsRegistry()
+        for snapshot in snapshots:
+            merged.merge_snapshot(snapshot)
+        assert merged.counter("trials") == 6.0
+        assert merged.gauges["loss_db"] == 2.0  # last write wins
+        assert sorted(merged.timers["solve"]) == [
+            pytest.approx(0.1),
+            pytest.approx(0.2),
+            pytest.approx(0.3),
+        ]
 
 
 class TestActiveRecorder:
@@ -245,6 +283,60 @@ class TestSummarize:
     def test_render_empty(self):
         text = render_trace_summary(summarize_trace([]))
         assert "empty trace" in text
+
+    def test_summarize_parallel_section(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            with recorder.span("run_trials_parallel", workers=2):
+                recorder.event("parallel.batch_merged", worker=0)
+                recorder.event("parallel.batch_merged", worker=1)
+                recorder.event("parallel.pool_broken")
+        summary = summarize_trace(read_trace(path))
+        assert summary["parallel"] == {
+            "runs": 1,
+            "batches_merged": 2,
+            "pool_breaks": 1,
+        }
+        text = render_trace_summary(summary)
+        assert "parallel execution" in text
+        assert "batches merged 2" in text
+        assert "pool breaks 1" in text
+
+    def test_summarize_campaign_section(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            with recorder.span("campaign.run", shards=2):
+                for attempts in (1, 3):
+                    with recorder.span("campaign.shard") as span:
+                        span.annotate(attempts=attempts)
+                recorder.increment("campaign.shards_executed", 2)
+                recorder.increment("campaign.retries", 2)
+                recorder.increment("campaign.heartbeats", 6)
+                recorder.event("campaign.shard_timeout")
+        summary = summarize_trace(read_trace(path))
+        campaign = summary["campaign"]
+        assert campaign["runs"] == 1
+        assert campaign["shards_executed"] == 2.0
+        assert campaign["retries"] == 2.0
+        assert campaign["heartbeats"] == 6.0
+        assert campaign["timeouts"] == 1
+        assert campaign["mean_attempts"] == pytest.approx(2.0)
+        text = render_trace_summary(summary)
+        assert "campaign scheduler" in text
+        assert "executed 2" in text
+        assert "heartbeats 6" in text
+
+    def test_summarize_plain_trace_omits_sections(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            with recorder.span("trial"):
+                pass
+        summary = summarize_trace(read_trace(path))
+        assert summary["parallel"] == {}
+        assert summary["campaign"] == {}
+        text = render_trace_summary(summary)
+        assert "parallel execution" not in text
+        assert "campaign scheduler" not in text
 
 
 class TestProgressReporter:

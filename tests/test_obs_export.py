@@ -1,0 +1,195 @@
+"""Tests for trace export: Chrome trace-event JSON and OpenMetrics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    chrome_trace,
+    chrome_trace_from_file,
+    parse_openmetrics,
+    read_trace,
+    registry_from_trace,
+    render_openmetrics,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_openmetrics,
+)
+from repro.obs.openmetrics import metric_name
+
+
+@pytest.fixture
+def trace_records(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with TraceRecorder(path) as recorder:
+        with recorder.span("sweep", kind="test"):
+            recorder.event("tick", step=1)
+            with recorder.span("trial", worker=1):
+                pass
+        recorder.increment("trials", 4)
+        recorder.gauge("loss_db", 2.5)
+    return read_trace(path)
+
+
+class TestChromeTrace:
+    def test_payload_validates(self, trace_records):
+        payload = chrome_trace(trace_records)
+        validate_chrome_trace(payload)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["schema"] == "repro.obs/1"
+
+    def test_phases_present(self, trace_records):
+        events = chrome_trace(trace_records)["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"X", "i", "C", "M"}
+
+    def test_span_timestamps_are_microseconds(self, trace_records):
+        spans = {
+            e["name"]: e
+            for e in chrome_trace(trace_records)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        source = {
+            r["name"]: r for r in trace_records if r["type"] == "span"
+        }
+        for name, event in spans.items():
+            assert event["ts"] == pytest.approx(source[name]["t0_s"] * 1e6)
+            assert event["dur"] == pytest.approx(source[name]["dur_s"] * 1e6)
+
+    def test_worker_attr_maps_to_pid_lane(self, trace_records):
+        events = chrome_trace(trace_records)["traceEvents"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert spans["sweep"]["pid"] == 0  # main process lane
+        assert spans["trial"]["pid"] == 2  # worker 1 -> lane 2
+        names = {
+            e["args"]["name"] for e in events if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "repro main" in names
+        assert "repro worker 1" in names
+
+    def test_depth_maps_to_tid(self, trace_records):
+        spans = {
+            e["name"]: e
+            for e in chrome_trace(trace_records)["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert spans["sweep"]["tid"] == 0
+        assert spans["trial"]["tid"] == 1
+
+    def test_counters_become_counter_events(self, trace_records):
+        counters = [
+            e for e in chrome_trace(trace_records)["traceEvents"] if e["ph"] == "C"
+        ]
+        by_name = {e["name"]: e["args"]["value"] for e in counters}
+        assert by_name["trials"] == 4.0
+        assert by_name["loss_db"] == 2.5
+
+    def test_write_round_trips_through_json(self, trace_records, tmp_path):
+        out = tmp_path / "trace.chrome.json"
+        write_chrome_trace(trace_records, out)
+        loaded = json.loads(out.read_text(encoding="utf-8"))
+        validate_chrome_trace(loaded)
+        assert loaded == chrome_trace(trace_records)
+
+    def test_from_file_matches_from_records(self, trace_records, tmp_path):
+        path = tmp_path / "again.jsonl"
+        with TraceRecorder(path) as recorder:
+            with recorder.span("solo"):
+                pass
+        assert chrome_trace_from_file(path) == chrome_trace(read_trace(path))
+
+    def test_validate_rejects_bad_payloads(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "tid": 0}]}
+            )
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0.0, "dur": -1}
+                    ]
+                }
+            )
+
+
+class TestOpenMetrics:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.increment("scheme.Proposed.trials", 30)
+        registry.set_gauge("loss_db", 1.25)
+        registry.record_duration("trial", 0.2)
+        registry.record_duration("trial", 0.4)
+        return registry
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("scheme.Proposed.trials") == "repro_scheme_Proposed_trials"
+        assert metric_name("a-b.c", prefix="") == "a_b_c"
+
+    def test_exposition_parses_and_terminates(self):
+        text = render_openmetrics(self._registry())
+        assert text.endswith("# EOF\n")
+        families = parse_openmetrics(text)
+        assert families["repro_scheme_Proposed_trials"]["type"] == "counter"
+        assert families["repro_loss_db"]["type"] == "gauge"
+        assert families["repro_trial_seconds"]["type"] == "summary"
+
+    def test_counter_total_and_summary_samples(self):
+        families = parse_openmetrics(render_openmetrics(self._registry()))
+        counter = families["repro_scheme_Proposed_trials"]["samples"]
+        assert counter == [("repro_scheme_Proposed_trials_total", {}, 30.0)]
+        summary = {
+            (name, labels.get("quantile")): value
+            for name, labels, value in families["repro_trial_seconds"]["samples"]
+        }
+        assert summary[("repro_trial_seconds_count", None)] == 2.0
+        assert summary[("repro_trial_seconds_sum", None)] == pytest.approx(0.6)
+        assert summary[("repro_trial_seconds", "0.5")] == pytest.approx(0.2)
+        assert summary[("repro_trial_seconds", "0.95")] == pytest.approx(0.4)
+
+    def test_empty_registry_is_valid(self):
+        assert parse_openmetrics(render_openmetrics(MetricsRegistry())) == {}
+
+    def test_parse_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("repro_x_total 1.0\n")
+
+    def test_parse_rejects_undeclared_sample(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_openmetrics("repro_x_total 1.0\n# EOF")
+
+    def test_parse_rejects_non_numeric_value(self):
+        text = "# TYPE repro_x counter\nrepro_x_total nope\n# EOF"
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_openmetrics(text)
+
+    def test_write_openmetrics_atomic_publish(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        write_openmetrics(self._registry(), target)
+        families = parse_openmetrics(target.read_text(encoding="utf-8"))
+        assert "repro_trial_seconds" in families
+        # No temp droppings left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.prom"]
+
+    def test_registry_from_trace_rebuilds_metrics(self, trace_records):
+        registry = registry_from_trace(trace_records)
+        assert registry.counter("trials") == 4.0
+        assert registry.gauges["loss_db"] == 2.5
+        assert len(registry.timers["sweep"]) == 1
+        assert len(registry.timers["trial"]) == 1
+
+    def test_trace_recorder_publishes_openmetrics(self, tmp_path):
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.prom"
+        with TraceRecorder(trace_path, openmetrics_path=metrics_path) as recorder:
+            recorder.increment("work", 3)
+        families = parse_openmetrics(metrics_path.read_text(encoding="utf-8"))
+        assert families["repro_work"]["samples"] == [("repro_work_total", {}, 3.0)]

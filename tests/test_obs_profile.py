@@ -1,0 +1,157 @@
+"""Tests for the profiling recorder: modes, aggregation, composition."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    PROFILE_MODES,
+    MetricsRecorder,
+    NullRecorder,
+    ProfilingRecorder,
+    TraceRecorder,
+    read_trace,
+    render_profile,
+    use_recorder,
+)
+from repro.sim.runner import run_trial, standard_schemes
+
+
+def _busywork(deadline_s: float = 0.02) -> float:
+    """Pure-Python spin so both profiler modes see real stack frames."""
+    total = 0.0
+    end = time.perf_counter() + deadline_s
+    while time.perf_counter() < end:
+        total += sum(i * i for i in range(200))
+    return total
+
+
+class TestProfilingRecorder:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="profile mode"):
+            ProfilingRecorder(mode="flamegraph")
+
+    def test_modes_constant(self):
+        assert ProfilingRecorder().mode == "cprofile"
+        assert set(PROFILE_MODES) == {"cprofile", "sample"}
+
+    def test_cprofile_captures_functions(self):
+        with ProfilingRecorder() as recorder:
+            with recorder.span("work"):
+                _busywork()
+        summary = recorder.profile_summary()
+        assert summary["work"]["spans"] == 1
+        assert summary["work"]["mode"] == "cprofile"
+        functions = {row["function"] for row in summary["work"]["functions"]}
+        assert "_busywork" in functions
+
+    def test_repeated_spans_aggregate_under_one_name(self):
+        with ProfilingRecorder() as recorder:
+            for _ in range(3):
+                with recorder.span("trial"):
+                    _busywork(0.005)
+        summary = recorder.profile_summary()
+        assert list(summary) == ["trial"]
+        assert summary["trial"]["spans"] == 3
+
+    def test_nested_spans_share_top_level_profile(self):
+        with ProfilingRecorder() as recorder:
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    _busywork(0.005)
+        summary = recorder.profile_summary()
+        assert "outer" in summary
+        assert "inner" not in summary
+
+    def test_hotspots_sorted_and_bounded(self):
+        with ProfilingRecorder() as recorder:
+            with recorder.span("work"):
+                _busywork()
+        rows = recorder.hotspots(top=5)
+        assert 0 < len(rows) <= 5
+        times = [row["tottime_s"] for row in rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_sample_mode_collects_samples(self):
+        recorder = ProfilingRecorder(mode="sample", sample_interval_s=0.001)
+        with recorder:
+            with recorder.span("work"):
+                _busywork(0.08)
+        summary = recorder.profile_summary()
+        assert summary["work"]["mode"] == "sample"
+        assert summary["work"]["samples"] > 0
+        assert summary["work"]["functions"]
+
+    def test_forwards_to_inner_recorder(self):
+        inner = MetricsRecorder()
+        recorder = ProfilingRecorder(inner=inner)
+        assert recorder.metrics is inner.metrics
+        with recorder.span("step") as span:
+            span.annotate(note="ok")
+        recorder.increment("hits", 2)
+        recorder.gauge("level", 0.5)
+        recorder.event("tick")
+        assert len(inner.metrics.timers["step"]) == 1
+        assert inner.metrics.counter("hits") == 2.0
+        assert inner.metrics.gauges["level"] == 0.5
+
+    def test_enabled_even_over_null_inner(self):
+        recorder = ProfilingRecorder(inner=NullRecorder())
+        assert recorder.enabled
+
+    def test_composes_with_trace_recorder(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as tracer:
+            with ProfilingRecorder(inner=tracer) as recorder:
+                with recorder.span("work", kind="test"):
+                    _busywork(0.005)
+        spans = [r for r in read_trace(path) if r["type"] == "span"]
+        assert [s["name"] for s in spans] == ["work"]
+        assert recorder.profile_summary()["work"]["spans"] == 1
+
+    def test_close_idempotent_and_stops_profiling(self):
+        recorder = ProfilingRecorder()
+        recorder.close()
+        recorder.close()
+        with recorder.span("late"):
+            pass
+        assert recorder.profile_summary() == {}
+
+    def test_render_profile_tables(self):
+        with ProfilingRecorder() as recorder:
+            with recorder.span("work"):
+                _busywork()
+        text = render_profile(recorder, top=3)
+        assert "Profile hotspots" in text
+        assert "work — 1 span(s), mode=cprofile" in text
+        assert "tottime" in text
+
+    def test_render_profile_empty(self):
+        text = render_profile(ProfilingRecorder())
+        assert "no top-level spans" in text
+
+
+class TestProfilingDeterminism:
+    def test_profiled_run_is_bit_identical(self, small_scenario, tmp_path):
+        """The full diagnostics stack must not perturb seeded results."""
+
+        def outcome_losses(recorder):
+            with use_recorder(recorder):
+                outcomes = run_trial(
+                    small_scenario,
+                    standard_schemes(measurements_per_slot=4),
+                    search_rate=0.3,
+                    rng=np.random.default_rng(7),
+                )
+            return {name: outcome.loss_db for name, outcome in outcomes.items()}
+
+        plain = outcome_losses(NullRecorder())
+        with TraceRecorder(
+            tmp_path / "t.jsonl", openmetrics_path=tmp_path / "m.prom"
+        ) as tracer:
+            with ProfilingRecorder(inner=tracer) as profiled:
+                instrumented = outcome_losses(profiled)
+        assert instrumented == plain
