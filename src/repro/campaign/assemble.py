@@ -22,12 +22,18 @@ __all__ = ["assemble_effectiveness_sweep"]
 
 
 def assemble_effectiveness_sweep(
-    plan: CampaignPlan, store: ShardStore
+    plan: CampaignPlan, store: ShardStore, verify_digests: bool = False
 ) -> EffectivenessSweep:
     """Build the sweep from stored shard results.
 
     Raises :class:`~repro.exceptions.CampaignError` when any shard is
     missing or corrupt — run (or resume) the campaign first.
+
+    ``verify_digests`` additionally requires every shard artifact to
+    carry a flight-recorder digest manifest (written by
+    ``run_campaign(..., checkpoints=True)``) covering each of the shard's
+    trials — provenance verification for results produced by remote or
+    accelerated workers, without re-running anything.
     """
     scheme_names = [spec.name for spec in plan.schemes()]
     losses: Dict[str, List[List[float]]] = {name: [] for name in scheme_names}
@@ -44,6 +50,8 @@ def assemble_effectiveness_sweep(
                     f"{store.classify(shard)}; {status.done}/{status.total} "
                     "shards done — run or resume the campaign first"
                 )
+            if verify_digests:
+                _verify_shard_digests(store, shard)
             for name in scheme_names:
                 per_rate[name].extend(result[name])
         for name in scheme_names:
@@ -51,3 +59,25 @@ def assemble_effectiveness_sweep(
     return EffectivenessSweep(
         search_rates=[float(rate) for rate in plan.search_rates], losses=losses
     )
+
+
+def _verify_shard_digests(store: ShardStore, shard) -> None:
+    """Require a digest manifest covering every one of the shard's trials."""
+    manifest = store.digest_manifest(shard)
+    if manifest is None:
+        raise CampaignError(
+            f"shard {shard.digest[:12]} has no flight-recorder digest manifest;"
+            " re-run the campaign with checkpoints enabled"
+        )
+    covered = {
+        int(event["trial"])
+        for event in manifest
+        if isinstance(event, dict) and "trial" in event
+    }
+    expected = set(shard.trial_indices)
+    missing = sorted(expected - covered)
+    if missing:
+        raise CampaignError(
+            f"shard {shard.digest[:12]} digest manifest is missing trials"
+            f" {missing[:8]}{'...' if len(missing) > 8 else ''}"
+        )

@@ -33,6 +33,7 @@ from repro.campaign.plan import CampaignPlan, ShardSpec
 from repro.campaign.store import ShardStore
 from repro.exceptions import CampaignAborted, ConfigurationError, ShardExecutionError
 from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
+from repro.obs.checkpoint import CheckpointSpec, find_checkpointer
 from repro.sim.parallel import ParallelOutcome, _run_trial_batch, _worker_init
 
 __all__ = [
@@ -177,6 +178,7 @@ def run_campaign(
     fault_injector: Optional[FaultInjector] = None,
     progress: Optional[ProgressCallback] = None,
     heartbeats: bool = True,
+    checkpoints: bool = False,
 ) -> CampaignReport:
     """Execute every pending shard of ``plan``; skip completed ones.
 
@@ -197,6 +199,16 @@ def run_campaign(
     computation, and a heartbeat write failure only logs a warning —
     results are bit-identical with heartbeats on or off.
 
+    ``checkpoints`` (or an active flight recorder in the parent) makes
+    every executed shard run under a worker-local
+    :class:`~repro.obs.checkpoint.CheckpointRecorder`; the per-trial
+    stage digests ride back with the shard result and are stored in the
+    artifact's additive ``digests`` manifest block, so ``repro diff`` and
+    :func:`~repro.campaign.assemble.assemble_effectiveness_sweep` can
+    verify provenance without re-running. Digesting never touches RNG
+    streams, so artifacts' ``result`` blocks are bit-identical either
+    way.
+
     Safe to call repeatedly with the same arguments: completed shards are
     skipped, so this is also the *resume* entry point.
     """
@@ -205,6 +217,14 @@ def run_campaign(
     if batch_trials is not None and batch_trials < 1:
         raise ConfigurationError(f"batch_trials must be >= 1, got {batch_trials}")
     recorder = get_recorder()
+    parent_checkpointer = find_checkpointer(recorder)
+    checkpoint_spec: Optional[CheckpointSpec] = None
+    if checkpoints or parent_checkpointer is not None:
+        checkpoint_spec = (
+            parent_checkpointer.spec_for_workers()
+            if parent_checkpointer is not None
+            else CheckpointSpec()
+        )
     store.save_manifest(plan)
 
     def beat(shard: ShardSpec, index: int, status: str, **extra) -> None:
@@ -236,17 +256,26 @@ def run_campaign(
     failed: List[str] = []
     done_trials = 0
 
-    def execute_in_process(shard: ShardSpec) -> Dict[str, List[float]]:
-        outcomes, _ = _run_trial_batch(
+    def execute_in_process(
+        shard: ShardSpec,
+    ) -> Tuple[Dict[str, List[float]], Optional[List[dict]]]:
+        # With a checkpoint spec the shard runs under its own worker-style
+        # recorder (digests + metrics ride back and merge); without one it
+        # runs under the ambient recorder exactly as before.
+        outcomes, aux = _run_trial_batch(
             shard.config,
             shard.schemes,
             shard.search_rate,
             shard.base_seed,
             shard.trial_indices,
-            False,
+            collect if checkpoint_spec is not None else False,
             batch_trials,
+            checkpoint_spec,
         )
-        return _shard_losses(outcomes, shard)
+        snapshot = aux.get("metrics") if aux else None
+        if collect and snapshot:
+            recorder.metrics.merge_snapshot(snapshot)
+        return _shard_losses(outcomes, shard), (aux.get("checkpoints") if aux else None)
 
     with recorder.span(
         "campaign.run",
@@ -286,10 +315,23 @@ def run_campaign(
                         shard.trial_indices,
                         collect,
                         batch_trials,
+                        checkpoint_spec,
                     )
 
-            for index, shard in pending:
+            pending_indices = {index for index, _ in pending}
+            for index, shard in enumerate(plan.shards):
+                if index not in pending_indices:
+                    # Skipped shard: replay its stored digest manifest into
+                    # the parent flight recorder in place, so a resumed
+                    # campaign's event sequence is identical — order
+                    # included — to an uninterrupted run's.
+                    if parent_checkpointer is not None:
+                        manifest = store.digest_manifest(shard)
+                        if manifest:
+                            parent_checkpointer.absorb(manifest)
+                    continue
                 losses: Optional[Dict[str, List[float]]] = None
+                shard_digests: Optional[List[dict]] = None
                 shard_started = time.time()
                 beat(shard, index, "running", started_unix_s=shard_started)
                 with recorder.span(
@@ -306,15 +348,17 @@ def run_campaign(
                                 fault_injector.before_attempt(index)
                             future = futures.pop(index, None)
                             if future is not None:
-                                losses = _collect_pooled(
+                                pooled_result = _collect_pooled(
                                     future, shard, timeout_s, recorder
                                 )
-                                if losses is None:  # pool broke or timed out
+                                if pooled_result is None:  # pool broke or timed out
                                     fallback_count += 1
                                     recorder.increment("campaign.fallbacks")
-                                    losses = execute_in_process(shard)
+                                    losses, shard_digests = execute_in_process(shard)
+                                else:
+                                    losses, shard_digests = pooled_result
                             else:
-                                losses = execute_in_process(shard)
+                                losses, shard_digests = execute_in_process(shard)
                         except CampaignAborted:
                             raise
                         except Exception as error:  # noqa: BLE001 - retried
@@ -361,7 +405,9 @@ def run_campaign(
                                 time.sleep(backoff_s * (2 ** (attempt - 1)))
                     if losses is None:
                         continue
-                    store.put(shard, losses)
+                    store.put(shard, losses, digests=shard_digests)
+                    if parent_checkpointer is not None and shard_digests:
+                        parent_checkpointer.absorb(shard_digests)
                     if fault_injector is not None and fault_injector.corrupts(index):
                         _corrupt_artifact(store, shard)
                     executed += 1
@@ -411,15 +457,16 @@ def _collect_pooled(
     shard: ShardSpec,
     timeout_s: Optional[float],
     recorder,
-) -> Optional[Dict[str, List[float]]]:
-    """One pooled shard result; ``None`` requests an in-process fallback.
+) -> Optional[Tuple[Dict[str, List[float]], Optional[List[dict]]]]:
+    """One pooled shard's ``(losses, checkpoint payloads)``; ``None``
+    requests an in-process fallback.
 
     :class:`BrokenProcessPool` (worker hard-crash/OOM) and per-shard
     timeouts degrade to in-process execution rather than failing; other
     worker exceptions propagate to the retry loop.
     """
     try:
-        outcomes, snapshot = future.result(timeout=timeout_s)
+        outcomes, aux = future.result(timeout=timeout_s)
     except BrokenProcessPool as error:
         logger.warning(
             "worker pool broke on shard %s (%s); running in-process",
@@ -437,6 +484,7 @@ def _collect_pooled(
         recorder.event("campaign.shard_timeout", digest=shard.digest)
         future.cancel()
         return None
+    snapshot = aux.get("metrics") if aux else None
     if snapshot and recorder.enabled and recorder.metrics is not None:
         recorder.metrics.merge_snapshot(snapshot)
-    return _shard_losses(outcomes, shard)
+    return _shard_losses(outcomes, shard), (aux.get("checkpoints") if aux else None)

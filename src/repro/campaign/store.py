@@ -67,11 +67,20 @@ class ShardStore:
 
     # -- shard artifacts -----------------------------------------------
 
-    def put(self, shard: ShardSpec, losses: Dict[str, List[float]]) -> Path:
+    def put(
+        self,
+        shard: ShardSpec,
+        losses: Dict[str, List[float]],
+        digests: Optional[List[dict]] = None,
+    ) -> Path:
         """Atomically write one shard result; returns the artifact path.
 
         ``losses`` maps scheme name to the per-trial loss series (dB) for
-        the shard's trial range, in trial order.
+        the shard's trial range, in trial order. ``digests``, when given,
+        is the shard's flight-recorder checkpoint payload list (see
+        :mod:`repro.obs.checkpoint`) and is stored as an *additive*
+        ``digests`` manifest block — artifacts written without it are
+        byte-identical to pre-flight-recorder artifacts.
         """
         expected = {name: shard.trial_count for name in shard.scheme_names()}
         actual = {name: len(series) for name, series in losses.items()}
@@ -81,21 +90,23 @@ class ShardStore:
             )
         digest = shard.digest
         path = self.shard_path(digest)
-        dump(
-            {
-                "kind": "campaign-shard-v1",
-                "digest": digest,
-                "provenance": {
-                    "schema": SHARD_SCHEMA,
-                    "code_version": __version__,
-                    "base_seed": shard.base_seed,
-                    "config": shard.config.to_dict(),
-                },
-                "spec": shard.spec_payload(),
-                "result": {"losses": losses},
+        payload = {
+            "kind": "campaign-shard-v1",
+            "digest": digest,
+            "provenance": {
+                "schema": SHARD_SCHEMA,
+                "code_version": __version__,
+                "base_seed": shard.base_seed,
+                "config": shard.config.to_dict(),
             },
-            path,
-        )
+            "spec": shard.spec_payload(),
+            "result": {"losses": losses},
+        }
+        if digests is not None:
+            from repro.obs.checkpoint import CHECKPOINT_SCHEMA
+
+            payload["digests"] = {"schema": CHECKPOINT_SCHEMA, "events": digests}
+        dump(payload, path)
         return path
 
     def get(self, shard: ShardSpec) -> Optional[Dict[str, List[float]]]:
@@ -111,6 +122,21 @@ class ShardStore:
             logger.warning("shard %s artifact has wrong shape", shard.digest)
             return None
         return {name: [float(v) for v in losses[name]] for name in names}
+
+    def digest_manifest(self, shard: ShardSpec) -> Optional[List[dict]]:
+        """The shard's checkpoint event payloads, or ``None``.
+
+        ``None`` both when the artifact is absent/invalid and when it was
+        written without a flight recorder — the digests block is optional
+        provenance, never required for assembly.
+        """
+        payload = self._read_artifact(shard.digest)
+        if payload is None:
+            return None
+        block = payload.get("digests")
+        if not isinstance(block, dict) or not isinstance(block.get("events"), list):
+            return None
+        return list(block["events"])
 
     def has(self, shard: ShardSpec) -> bool:
         """True when a valid artifact exists for ``shard``."""

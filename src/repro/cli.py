@@ -11,6 +11,11 @@
     repro run fig6 --trace out.jsonl --progress  # JSONL trace + ETA lines
     repro run fig6 --profile                    # cProfile hotspot tables
     repro run fig6 --trace t.jsonl --openmetrics m.prom  # scrapeable metrics
+    repro run fig6 --trace a.jsonl --checkpoints  # stage-digest flight recorder
+    repro run fig6 --trace a.jsonl --checkpoints --spill tensors/  # + full tensors
+    repro diff a.jsonl b.jsonl                  # first divergent stage/trial
+    repro diff results/c6a results/c6b --json   # shard-store provenance diff
+    repro inspect a.jsonl --trial 3             # per-trial alignment storyboard
     repro trace summarize out.jsonl             # timing/convergence tables
     repro trace export out.jsonl --format chrome  # chrome://tracing JSON
     repro metrics export out.jsonl              # OpenMetrics text exposition
@@ -122,7 +127,45 @@ def build_parser() -> argparse.ArgumentParser:
             " re-running resumes from completed shards (sweep experiments)"
         ),
     )
+    _add_checkpoint_arguments(run_cmd)
     run_cmd.set_defaults(handler=_handle_run)
+
+    diff_cmd = commands.add_parser(
+        "diff",
+        help="compare two runs' flight-recorder digests; localize divergence",
+    )
+    diff_cmd.add_argument("run_a", help="JSONL trace or campaign store directory")
+    diff_cmd.add_argument("run_b", help="JSONL trace or campaign store directory")
+    diff_cmd.add_argument(
+        "--json", action="store_true", help="emit the diff result as JSON"
+    )
+    diff_cmd.add_argument(
+        "--replay",
+        action="store_true",
+        help=(
+            "if the runs diverge and carry no spilled tensors, re-execute"
+            " the divergent trial from both sources with spill enabled to"
+            " recover the exact array coordinate"
+        ),
+    )
+    diff_cmd.set_defaults(handler=_handle_diff)
+
+    inspect_cmd = commands.add_parser(
+        "inspect", help="render one trial's alignment storyboard from a recorded run"
+    )
+    inspect_cmd.add_argument("run", help="JSONL trace or campaign store directory")
+    inspect_cmd.add_argument("--trial", type=int, required=True, help="trial index")
+    inspect_cmd.add_argument(
+        "--rate", type=float, default=None, help="restrict to one search rate"
+    )
+    inspect_cmd.add_argument(
+        "--json", action="store_true", help="emit the storyboard as JSON"
+    )
+    inspect_cmd.add_argument(
+        "--max-probes", type=int, default=32, metavar="N",
+        help="probe-table rows per scheme (default 32)",
+    )
+    inspect_cmd.set_defaults(handler=_handle_inspect)
 
     campaign_cmd = commands.add_parser(
         "campaign", help="checkpointed, fault-tolerant sweep campaigns"
@@ -157,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
         verb_cmd.add_argument(
             "--progress", action="store_true", help="print progress/ETA lines to stderr"
+        )
+        verb_cmd.add_argument(
+            "--checkpoints",
+            action="store_true",
+            help=(
+                "record flight-recorder stage digests into each shard"
+                " artifact (provenance for `repro diff` / --verify-digests)"
+            ),
+        )
+        verb_cmd.add_argument(
+            "--verify-digests",
+            action="store_true",
+            help="require a digest manifest covering every shard trial at assembly",
         )
         verb_cmd.set_defaults(handler=_handle_campaign_run)
 
@@ -295,6 +351,34 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The flight-recorder options of ``run``."""
+    parser.add_argument(
+        "--checkpoints",
+        action="store_true",
+        help=(
+            "record stage-level flight-recorder digests (needs --trace to"
+            " stream them, and/or --store to persist them in shard artifacts)"
+        ),
+    )
+    parser.add_argument(
+        "--spill",
+        default=None,
+        metavar="DIR",
+        help="with --checkpoints: also save every stage's full tensors under DIR",
+    )
+    parser.add_argument(
+        "--inject-perturbation",
+        default=None,
+        metavar="TRIAL:STAGE:INDEX",
+        help=(
+            "detector self-test: bump one element of one stage's recorded"
+            " copy by one ULP before digesting (simulation untouched);"
+            " also settable via the REPRO_CHECKPOINT_PERTURB env var"
+        ),
+    )
+
+
 def _handle_list(args: argparse.Namespace) -> int:
     for experiment_id in experiments.list_ids():
         experiment = experiments.get(experiment_id)
@@ -313,20 +397,27 @@ def _accepts_kwarg(func, name: str) -> bool:
     return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
 
 
-def _build_recorder_stack(args: argparse.Namespace, stack: ExitStack):
-    """The recorder implied by --trace/--openmetrics/--profile.
+def _build_recorder_stack(args: argparse.Namespace, stack: ExitStack, run_meta=None):
+    """The recorder implied by --trace/--openmetrics/--profile/--checkpoints.
 
     Returns ``(recorder, profiler)`` where ``recorder`` is the outermost
     recorder to install (or ``None`` when no diagnostics were requested)
     and ``profiler`` is the :class:`ProfilingRecorder` when --profile is
-    on (it may also *be* the recorder). Raises ``OSError`` when the
-    trace file cannot be opened.
+    on (it may also *be* the recorder). With ``--checkpoints`` the stack
+    is additionally wrapped (outermost) in a
+    :class:`~repro.obs.CheckpointRecorder` streaming stage digests into
+    the trace; ``run_meta`` lands in the trace header so ``repro diff``
+    can replay the run. Raises ``OSError`` when the trace file cannot be
+    opened.
     """
     trace_path = getattr(args, "trace", None)
     openmetrics_path = getattr(args, "openmetrics", None)
+    checkpoints = getattr(args, "checkpoints", False) and trace_path
     if trace_path:
         recorder = stack.enter_context(
-            TraceRecorder(trace_path, openmetrics_path=openmetrics_path)
+            TraceRecorder(
+                trace_path, openmetrics_path=openmetrics_path, run_meta=run_meta
+            )
         )
     elif openmetrics_path or args.profile:
         recorder = MetricsRecorder()
@@ -338,6 +429,16 @@ def _build_recorder_stack(args: argparse.Namespace, stack: ExitStack):
 
         profiler = ProfilingRecorder(inner=recorder, mode=args.profile_mode)
         recorder = profiler
+    if checkpoints:
+        from repro.obs import CheckpointRecorder
+
+        spill_dir = getattr(args, "spill", None)
+        recorder = CheckpointRecorder(
+            inner=recorder,
+            spill_dir=spill_dir,
+            spill="all" if spill_dir else "off",
+            perturb=getattr(args, "inject_perturbation", None),
+        )
     return recorder, profiler
 
 
@@ -365,7 +466,32 @@ def _handle_run(args: argparse.Namespace) -> int:
         overrides["num_trials"] = args.trials
     if args.seed is not None:
         overrides["base_seed"] = args.seed
-    runner = experiments.get(args.experiment).runner
+    experiment = experiments.get(args.experiment)
+    runner = experiment.runner
+    if args.checkpoints and not args.trace and not args.store:
+        print(
+            "error: --checkpoints needs --trace (to stream digests) and/or"
+            " --store (to persist them in shard artifacts)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.spill and not args.checkpoints:
+        print("error: --spill needs --checkpoints", file=sys.stderr)
+        return 2
+    run_meta = None
+    if args.checkpoints and args.trace and experiment.replay_meta is not None:
+        run_meta = experiment.replay_meta(
+            **{k: v for k, v in overrides.items() if k != "progress"}
+        )
+    if args.checkpoints and args.store is not None:
+        if _accepts_kwarg(runner, "checkpoints"):
+            overrides["checkpoints"] = True
+        else:
+            print(
+                f"note: experiment {args.experiment!r} does not support"
+                " campaign checkpoint digests",
+                file=sys.stderr,
+            )
     if args.progress:
         if _accepts_kwarg(runner, "progress"):
             overrides["progress"] = print_progress
@@ -393,7 +519,7 @@ def _handle_run(args: argparse.Namespace) -> int:
             )
     with ExitStack() as stack:
         try:
-            recorder, profiler = _build_recorder_stack(args, stack)
+            recorder, profiler = _build_recorder_stack(args, stack, run_meta=run_meta)
         except OSError as error:
             print(f"error: cannot write trace {args.trace}: {error}", file=sys.stderr)
             return 2
@@ -404,6 +530,16 @@ def _handle_run(args: argparse.Namespace) -> int:
         result = experiments.run(args.experiment, **overrides)
     print(result.table)
     _finish_diagnostics(args, recorder, profiler)
+    if recorder is not None:
+        from repro.obs import find_checkpointer
+
+        checkpointer = find_checkpointer(recorder)
+        if checkpointer is not None:
+            print(
+                f"\nrecorded {len(checkpointer.events)} checkpoint digest(s)"
+                + (f" (tensors spilled under {args.spill})" if args.spill else "")
+                + " — compare runs with `repro diff`"
+            )
     if args.trace:
         print(f"\nwrote trace {args.trace} (inspect with `repro trace summarize`)")
     if args.json:
@@ -492,6 +628,7 @@ def _handle_campaign_run(args: argparse.Namespace) -> int:
             backoff_s=args.backoff,
             timeout_s=args.timeout,
             progress=print_progress if args.progress else None,
+            checkpoints=args.checkpoints,
         )
     except CampaignError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -500,7 +637,15 @@ def _handle_campaign_run(args: argparse.Namespace) -> int:
         f"executed {report.executed} shards, skipped {report.skipped},"
         f" {report.retries} retries, {report.fallbacks} fallbacks"
     )
-    sweep = assemble_effectiveness_sweep(plan, store)
+    try:
+        sweep = assemble_effectiveness_sweep(
+            plan, store, verify_digests=args.verify_digests
+        )
+    except CampaignError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.verify_digests:
+        print(f"verified digest manifests for all {len(plan.shards)} shard(s)")
     print(render_effectiveness(sweep, f"Campaign sweep ({args.channel})"))
     if args.json:
         save_effectiveness_sweep(
@@ -604,6 +749,101 @@ def _handle_campaign_gc(args: argparse.Namespace) -> int:
     print(f"{verb} {len(removed)} artifact(s) from {args.store}")
     for path in removed:
         print(f"  {path.name}")
+    return 0
+
+
+def _handle_diff(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.obs.diff import (
+        diff_checkpoints,
+        diff_report_json,
+        load_checkpoints,
+        render_diff,
+        replay_trial,
+    )
+
+    try:
+        result = diff_checkpoints(
+            load_checkpoints(args.run_a), load_checkpoints(args.run_b)
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    divergence = result.divergence
+    if (
+        args.replay
+        and divergence is not None
+        and not divergence.deltas
+        and divergence.reason == "digest"
+    ):
+        import tempfile
+        from pathlib import Path
+
+        rate = (
+            divergence.event_a.rate
+            if divergence.event_a is not None
+            else divergence.event_b.rate if divergence.event_b is not None else None
+        )
+        try:
+            with tempfile.TemporaryDirectory(prefix="repro-diff-") as tmp:
+                replay = diff_checkpoints(
+                    replay_trial(
+                        args.run_a, divergence.trial, rate, Path(tmp) / "a"
+                    ),
+                    replay_trial(
+                        args.run_b, divergence.trial, rate, Path(tmp) / "b"
+                    ),
+                )
+                if replay.divergence is not None and replay.divergence.deltas:
+                    result = dataclasses.replace(
+                        result,
+                        divergence=dataclasses.replace(
+                            divergence, deltas=replay.divergence.deltas
+                        ),
+                    )
+                elif replay.identical:
+                    result = dataclasses.replace(
+                        result,
+                        notes=result.notes
+                        + (
+                            "note: replaying the divergent trial from both"
+                            " sources produced identical tensors — the"
+                            " recorded divergence is not reproducible from"
+                            " the stored specs (e.g. an injected recorder"
+                            " perturbation, or environment drift)",
+                        ),
+                    )
+        except (OSError, ValueError) as error:
+            print(f"note: replay unavailable: {error}", file=sys.stderr)
+    if args.json:
+        print(diff_report_json(result), end="")
+    else:
+        print(
+            render_diff(result, label_a=args.run_a, label_b=args.run_b), end=""
+        )
+    return 0 if result.identical else 1
+
+
+def _handle_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.diff import load_checkpoints
+    from repro.obs.inspect import (
+        render_storyboard,
+        storyboard_json,
+        trial_storyboard,
+    )
+
+    try:
+        story = trial_storyboard(
+            load_checkpoints(args.run), args.trial, rate=args.rate
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(storyboard_json(story), end="")
+    else:
+        print(render_storyboard(story, max_probes=args.max_probes), end="")
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.core.result import AlignmentResult
 from repro.exceptions import BudgetExhaustedError, ValidationError
 from repro.measurement.budget import MeasurementBudget
 from repro.measurement.measurer import Measurement, MeasurementEngine
+from repro.obs import get_recorder
 from repro.types import BeamPair
 
 __all__ = ["AlignmentContext", "BeamAlignmentAlgorithm"]
@@ -37,6 +38,7 @@ class AlignmentContext:
         rx_codebook: Codebook,
         engine: MeasurementEngine,
         budget: MeasurementBudget,
+        stream: Optional[str] = None,
     ) -> None:
         expected_total = tx_codebook.num_beams * rx_codebook.num_beams
         if budget.total_pairs != expected_total:
@@ -51,6 +53,11 @@ class AlignmentContext:
         self._measured: Dict[BeamPair, Measurement] = {}
         self._measured_by_tx: Dict[int, Set[int]] = {}
         self._trace: List[Measurement] = []
+        # Flight-recorder hookup: contexts are built per trial inside the
+        # active recorder's scope, so caching it here is safe and keeps
+        # the per-measurement guard to one attribute load.
+        self._recorder = get_recorder()
+        self._stream = stream
 
     # -- accessors ------------------------------------------------------
 
@@ -126,6 +133,16 @@ class AlignmentContext:
         self._measured[pair] = measurement
         self._measured_by_tx.setdefault(pair.tx_index, set()).add(pair.rx_index)
         self._trace.append(measurement)
+        if self._recorder.checkpoints_enabled:
+            self._recorder.checkpoint(
+                "measurement.probe",
+                {"z": np.array([measurement.z], dtype=complex)},
+                stream=self._stream,
+                power=measurement.power,
+                tx=pair.tx_index,
+                rx=pair.rx_index,
+                slot=slot,
+            )
         return measurement
 
     def measure_many(
@@ -158,6 +175,14 @@ class AlignmentContext:
             self._measured[pair] = measurement
             self._measured_by_tx.setdefault(pair.tx_index, set()).add(pair.rx_index)
             self._trace.append(measurement)
+        if self._recorder.checkpoints_enabled:
+            self._recorder.checkpoint(
+                "measurement.probe",
+                {"z": np.array([m.z for m in measurements], dtype=complex)},
+                stream=self._stream,
+                pairs=[[pair.tx_index, pair.rx_index] for pair in pairs],
+                slot=slot,
+            )
         return measurements
 
     def measure_vectors(
@@ -174,6 +199,15 @@ class AlignmentContext:
         self._budget.charge(1)
         measurement = self._engine.measure_vectors(tx_beam, rx_beam, slot=slot)
         self._trace.append(measurement)
+        if self._recorder.checkpoints_enabled:
+            self._recorder.checkpoint(
+                "measurement.probe",
+                {"z": np.array([measurement.z], dtype=complex)},
+                stream=self._stream,
+                power=measurement.power,
+                slot=slot,
+                off_codebook=True,
+            )
         return measurement
 
     # -- outcome --------------------------------------------------------

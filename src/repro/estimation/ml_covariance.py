@@ -228,6 +228,17 @@ def estimate_ml_covariance(
             converged=result.converged,
             objective=result.objective,
         )
+        if recorder.checkpoints_enabled:
+            recorder.checkpoint(
+                "estimator.solve",
+                {
+                    "solution": result.solution,
+                    "history": np.asarray(result.history, dtype=float),
+                },
+                iterations=result.iterations,
+                converged=bool(result.converged),
+                objective=float(result.objective),
+            )
     return result
 
 

@@ -30,6 +30,8 @@ __all__ = [
     "build_scenario",
     "run_effectiveness_experiment",
     "run_cost_experiment",
+    "effectiveness_replay_meta",
+    "cost_replay_meta",
 ]
 
 #: Search-rate grid for the effectiveness figures. The paper's axes are
@@ -50,6 +52,79 @@ def build_scenario(channel: ChannelKind, snr_db: float = 20.0) -> Scenario:
     return Scenario(ScenarioConfig(channel=channel, snr_db=snr_db))
 
 
+def _replay_meta(
+    channel: ChannelKind,
+    search_rates: Sequence[float],
+    num_trials: int,
+    base_seed: int,
+    snr_db: float,
+    measurements_per_slot: int,
+) -> Dict[str, object]:
+    """The trace ``run_meta`` block that makes a recorded run replayable.
+
+    Carries exactly what :func:`repro.obs.diff.replay_trial` needs to
+    re-execute any one trial bit-identically: the scenario config, the
+    picklable scheme specs, the rate grid, and the base seed.
+    """
+    from repro.campaign import standard_scheme_specs
+
+    config = ScenarioConfig(channel=channel, snr_db=snr_db)
+    return {
+        "config": config.to_dict(),
+        "schemes": [
+            {"name": spec.name, "params": dict(spec.params)}
+            for spec in standard_scheme_specs(
+                measurements_per_slot=measurements_per_slot
+            )
+        ],
+        "search_rates": [float(rate) for rate in search_rates],
+        "base_seed": int(base_seed),
+        "num_trials": int(num_trials),
+    }
+
+
+def effectiveness_replay_meta(
+    channel: ChannelKind,
+    num_trials: int = DEFAULT_TRIALS,
+    base_seed: int = DEFAULT_SEED,
+    search_rates: Optional[Sequence[float]] = None,
+    snr_db: float = 20.0,
+    measurements_per_slot: int = 8,
+    quick: bool = False,
+    **_ignored: object,
+) -> Dict[str, object]:
+    """Replay metadata for Figs. 5/6 under the same override resolution
+    as :func:`run_effectiveness_experiment` (quick clamps included)."""
+    if quick:
+        num_trials = min(num_trials, 4)
+        search_rates = search_rates or (0.10, 0.20)
+    rates = list(search_rates or DEFAULT_SEARCH_RATES)
+    return _replay_meta(
+        channel, rates, num_trials, base_seed, snr_db, measurements_per_slot
+    )
+
+
+def cost_replay_meta(
+    channel: ChannelKind,
+    num_trials: int = DEFAULT_TRIALS,
+    base_seed: int = DEFAULT_SEED,
+    search_rates: Optional[Sequence[float]] = None,
+    snr_db: float = 20.0,
+    measurements_per_slot: int = 8,
+    quick: bool = False,
+    **_ignored: object,
+) -> Dict[str, object]:
+    """Replay metadata for Figs. 7/8 under the same override resolution
+    as :func:`run_cost_experiment`."""
+    if quick:
+        num_trials = min(num_trials, 4)
+        search_rates = search_rates or (0.10, 0.20, 0.40)
+    rates = list(search_rates or DEFAULT_SEARCH_RATES)
+    return _replay_meta(
+        channel, rates, num_trials, base_seed, snr_db, measurements_per_slot
+    )
+
+
 def _sweep(
     channel: ChannelKind,
     search_rates: Sequence[float],
@@ -61,6 +136,7 @@ def _sweep(
     batch_trials: Optional[int] = None,
     store=None,
     shard_trials: Optional[int] = None,
+    checkpoints: bool = False,
 ) -> EffectivenessSweep:
     scenario = build_scenario(channel, snr_db=snr_db)
     if store is not None:
@@ -79,6 +155,7 @@ def _sweep(
             batch_trials=batch_trials,
             store=store,
             shard_trials=shard_trials,
+            checkpoints=checkpoints,
         )
     schemes = standard_schemes(measurements_per_slot=measurements_per_slot)
     return effectiveness_sweep(
@@ -106,6 +183,7 @@ def run_effectiveness_experiment(
     batch_trials: Optional[int] = None,
     store=None,
     shard_trials: Optional[int] = None,
+    checkpoints: bool = False,
 ) -> ExperimentResult:
     """Figures 5/6: SNR loss vs search rate for Random/Scan/Proposed.
 
@@ -131,6 +209,7 @@ def run_effectiveness_experiment(
         batch_trials=batch_trials,
         store=store,
         shard_trials=shard_trials,
+        checkpoints=checkpoints,
     )
     data: Dict[str, object] = {
         "search_rates": rates,
@@ -167,6 +246,7 @@ def run_cost_experiment(
     batch_trials: Optional[int] = None,
     store=None,
     shard_trials: Optional[int] = None,
+    checkpoints: bool = False,
 ) -> ExperimentResult:
     """Figures 7/8: required search rate vs target SNR loss.
 
@@ -190,6 +270,7 @@ def run_cost_experiment(
         batch_trials=batch_trials,
         store=store,
         shard_trials=shard_trials,
+        checkpoints=checkpoints,
     )
     curve = required_search_rates(sweep, targets)
     data: Dict[str, object] = {

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from functools import partial
 
-from repro.experiments.common import run_effectiveness_experiment
+from repro.experiments.common import effectiveness_replay_meta, run_effectiveness_experiment
 from repro.experiments.registry import Experiment, ExperimentResult, register
 from repro.sim.config import ChannelKind
 
@@ -32,6 +32,7 @@ register(
         title=TITLE,
         paper_artifact="Figure 5",
         runner=run_fig5,
+        replay_meta=partial(effectiveness_replay_meta, ChannelKind.SINGLEPATH),
         description=(
             "Loss (dB) of the selected beam pair vs search rate for the "
             "Random, Scan, and Proposed schemes on a single-path channel."

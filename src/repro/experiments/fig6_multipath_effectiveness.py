@@ -6,7 +6,9 @@ from the NYC measurement statistics (2–3 dominant narrow clusters).
 
 from __future__ import annotations
 
-from repro.experiments.common import run_effectiveness_experiment
+from functools import partial
+
+from repro.experiments.common import effectiveness_replay_meta, run_effectiveness_experiment
 from repro.experiments.registry import Experiment, ExperimentResult, register
 from repro.sim.config import ChannelKind
 
@@ -28,6 +30,7 @@ register(
         title=TITLE,
         paper_artifact="Figure 6",
         runner=run_fig6,
+        replay_meta=partial(effectiveness_replay_meta, ChannelKind.MULTIPATH),
         description=(
             "Loss (dB) of the selected beam pair vs search rate for the "
             "Random, Scan, and Proposed schemes on the NYC multipath channel."

@@ -8,7 +8,9 @@ scheme needs the exhaustive 100%.
 
 from __future__ import annotations
 
-from repro.experiments.common import run_cost_experiment
+from functools import partial
+
+from repro.experiments.common import cost_replay_meta, run_cost_experiment
 from repro.experiments.registry import Experiment, ExperimentResult, register
 from repro.sim.config import ChannelKind
 
@@ -28,6 +30,7 @@ register(
         title=TITLE,
         paper_artifact="Figure 7",
         runner=run_fig7,
+        replay_meta=partial(cost_replay_meta, ChannelKind.SINGLEPATH),
         description=(
             "Smallest search rate at which each scheme's mean loss meets a "
             "target, on a single-path channel."

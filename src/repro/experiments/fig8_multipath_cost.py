@@ -5,7 +5,9 @@ Same protocol as Figure 7, on the clustered multipath channel.
 
 from __future__ import annotations
 
-from repro.experiments.common import run_cost_experiment
+from functools import partial
+
+from repro.experiments.common import cost_replay_meta, run_cost_experiment
 from repro.experiments.registry import Experiment, ExperimentResult, register
 from repro.sim.config import ChannelKind
 
@@ -25,6 +27,7 @@ register(
         title=TITLE,
         paper_artifact="Figure 8",
         runner=run_fig8,
+        replay_meta=partial(cost_replay_meta, ChannelKind.MULTIPATH),
         description=(
             "Smallest search rate at which each scheme's mean loss meets a "
             "target, on the NYC multipath channel."

@@ -39,6 +39,11 @@ class Experiment:
     paper_artifact: str  # e.g. "Figure 5" or "setup fact (Sec. IV-A1)"
     runner: Callable[..., ExperimentResult]
     description: str = ""
+    #: Optional builder of the flight-recorder ``run_meta`` block: given
+    #: the same overrides the runner would get, returns the scenario
+    #: config / scheme specs / rate grid / seed that ``repro diff`` needs
+    #: to re-execute one trial of a recorded trace (see docs/drift.md).
+    replay_meta: Optional[Callable[..., Dict[str, Any]]] = None
 
 
 _REGISTRY: Dict[str, Experiment] = {}

@@ -17,12 +17,30 @@ Typical use::
 See ``docs/observability.md`` for the event schema and recipes.
 """
 
+from repro.obs.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointEvent,
+    CheckpointRecorder,
+    CheckpointSpec,
+    array_digest,
+    find_checkpointer,
+)
+from repro.obs.diff import (
+    DiffResult,
+    Divergence,
+    diff_checkpoints,
+    diff_runs,
+    load_checkpoints,
+    render_diff,
+    replay_trial,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_from_file,
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.inspect import render_storyboard, storyboard_json, trial_storyboard
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import MetricsRegistry, percentile, timer_stats
 from repro.obs.openmetrics import (
@@ -52,7 +70,13 @@ from repro.obs.summary import (
     summarize_trace,
     summarize_trace_file,
 )
-from repro.obs.trace import TRACE_SCHEMA, TraceRecorder, read_trace
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
+    TraceRecorder,
+    read_trace,
+    read_trace_tolerant,
+)
 
 __all__ = [
     "Recorder",
@@ -71,7 +95,25 @@ __all__ = [
     "ProgressReporter",
     "print_progress",
     "read_trace",
+    "read_trace_tolerant",
     "TRACE_SCHEMA",
+    "TRACE_SCHEMA_V1",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointEvent",
+    "CheckpointRecorder",
+    "CheckpointSpec",
+    "array_digest",
+    "find_checkpointer",
+    "DiffResult",
+    "Divergence",
+    "diff_checkpoints",
+    "diff_runs",
+    "load_checkpoints",
+    "render_diff",
+    "replay_trial",
+    "trial_storyboard",
+    "render_storyboard",
+    "storyboard_json",
     "summarize_trace",
     "summarize_trace_file",
     "render_trace_summary",

@@ -1,4 +1,4 @@
-"""Trace export: ``repro.obs/1`` JSONL → Chrome/Perfetto trace-event JSON.
+"""Trace export: ``repro.obs/2`` JSONL → Chrome/Perfetto trace-event JSON.
 
 ``chrome://tracing`` and https://ui.perfetto.dev consume the Trace Event
 Format: a JSON object with a ``traceEvents`` list whose entries carry a
@@ -26,7 +26,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Union
 
-from repro.obs.trace import read_trace
+from repro.obs.trace import read_trace_tolerant
 from repro.utils.serialization import to_jsonable
 
 __all__ = [
@@ -49,7 +49,7 @@ def _worker_pid(attrs: Mapping[str, Any]) -> int:
 
 
 def chrome_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
-    """Convert parsed ``repro.obs/1`` records into a trace-event payload."""
+    """Convert parsed ``repro.obs/2`` records into a trace-event payload."""
     events: List[Dict[str, Any]] = []
     other: Dict[str, Any] = {}
     seen_lanes: Dict[int, set] = {}
@@ -90,6 +90,24 @@ def chrome_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
                     "s": "p",  # process-scoped instant marker
                     "cat": name.split(".", 1)[0] or "event",
                     "args": to_jsonable(attrs),
+                }
+            )
+        elif kind == "checkpoint":
+            seen_lanes.setdefault(0, set()).add(0)
+            events.append(
+                {
+                    "name": str(record.get("stage", "checkpoint")),
+                    "ph": "i",
+                    "ts": float(record.get("t_s", 0.0)) * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "s": "p",
+                    "cat": "checkpoint",
+                    "args": {
+                        "trial": record.get("trial"),
+                        "seq": record.get("seq"),
+                        "digest": record.get("digest"),
+                    },
                 }
             )
         elif kind in ("counter", "gauge"):
@@ -137,8 +155,17 @@ def chrome_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
 
 
 def chrome_trace_from_file(path: Union[str, Path]) -> Dict[str, Any]:
-    """Parse one JSONL trace and convert it."""
-    return chrome_trace(read_trace(path))
+    """Parse one JSONL trace and convert it.
+
+    Parsing is tolerant of malformed lines (a killed run truncates its
+    final record); the count of skipped lines is surfaced in
+    ``otherData["skipped_lines"]`` when non-zero.
+    """
+    records, skipped = read_trace_tolerant(path)
+    payload = chrome_trace(records)
+    if skipped:
+        payload["otherData"]["skipped_lines"] = skipped
+    return payload
 
 
 def write_chrome_trace(

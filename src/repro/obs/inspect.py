@@ -1,0 +1,232 @@
+"""Per-trial alignment storyboard: ``repro inspect <run> --trial K``.
+
+The flight recorder's checkpoint events carry enough attrs to replay one
+trial's *story* without its tensors: which channel was drawn (digest +
+coarse stats), where the genie optimum sat, which beam pairs each scheme
+probed in which slot, what power each probe measured versus the pair's
+true mean SNR, how the estimator converged, and which beam was finally
+chosen at what loss. This module filters a run's events down to one
+``(trial, rate)`` cell and renders that story as markdown (for humans)
+or JSON (for tooling).
+
+Sources are anything :func:`repro.obs.diff.load_checkpoints` accepts — a
+JSONL trace file or a campaign shard store.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.checkpoint import CheckpointEvent, _rate_token
+
+__all__ = ["trial_storyboard", "render_storyboard", "storyboard_json", "inspect_run"]
+
+
+def _trial_events(
+    events: Sequence[CheckpointEvent], trial: int, rate: Optional[float]
+) -> List[CheckpointEvent]:
+    token = _rate_token(rate) if rate is not None else None
+    selected = [
+        event
+        for event in events
+        if event.trial == trial and (token is None or _rate_token(event.rate) == token)
+    ]
+    return sorted(selected, key=lambda e: (_rate_token(e.rate), e.seq))
+
+
+def trial_storyboard(
+    events: Sequence[CheckpointEvent],
+    trial: int,
+    rate: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Assemble one trial's alignment storyboard from checkpoint events.
+
+    Raises ``ValueError`` when the run has no events for that trial (or
+    for that trial at that rate). When the run swept several search rates
+    and ``rate`` is ``None``, every rate's story is included.
+    """
+    selected = _trial_events(events, trial, rate)
+    if not selected:
+        rates = sorted({_rate_token(e.rate) for e in events})
+        trials = sorted({e.trial for e in events})
+        raise ValueError(
+            f"no checkpoint events for trial {trial}"
+            + (f" at rate {rate}" if rate is not None else "")
+            + f"; run covers trials {trials[:12]} at rate token(s) {rates}"
+        )
+    rates_present: List[Optional[float]] = []
+    for event in selected:
+        if event.rate not in rates_present:
+            rates_present.append(event.rate)
+    return {
+        "trial": trial,
+        "rates": [
+            _storyboard_for_rate(
+                [e for e in selected if e.rate == cell_rate], cell_rate
+            )
+            for cell_rate in rates_present
+        ],
+    }
+
+
+def _storyboard_for_rate(
+    events: Sequence[CheckpointEvent], rate: Optional[float]
+) -> Dict[str, Any]:
+    """One (trial, rate) cell: channel, per-scheme stories, final metrics."""
+    cell: Dict[str, Any] = {
+        "rate": rate,
+        "channel": None,
+        "gain_table": None,
+        "schemes": {},
+        "losses": {},
+        "events": len(events),
+    }
+    scheme_order: List[str] = []
+    for event in events:
+        if event.stage == "channel.draw":
+            cell["channel"] = {"digest": event.digest, "stats": dict(event.stats)}
+        elif event.stage == "channel.gain_table":
+            cell["gain_table"] = {
+                "digest": event.digest,
+                "optimal_tx": event.attrs.get("optimal_tx"),
+                "optimal_rx": event.attrs.get("optimal_rx"),
+                "optimal_snr": event.attrs.get("optimal_snr"),
+            }
+        elif event.stage == "trial.metrics":
+            losses = event.attrs.get("losses")
+            if isinstance(losses, dict):
+                cell["losses"] = {str(k): v for k, v in losses.items()}
+        elif event.scheme is not None:
+            story = cell["schemes"].setdefault(
+                event.scheme,
+                {"probes": 0, "estimator": None, "selection": None},
+            )
+            if event.scheme not in scheme_order:
+                scheme_order.append(event.scheme)
+            if event.stage == "measurement.probe":
+                pairs = event.attrs.get("pairs")
+                story["probes"] += len(pairs) if isinstance(pairs, list) else 1
+            elif event.stage == "estimator.solve":
+                story["estimator"] = {
+                    "iterations": event.attrs.get("iterations"),
+                    "converged": event.attrs.get("converged"),
+                    "objective": event.attrs.get("objective"),
+                }
+            elif event.stage == "beam.selection":
+                story["selection"] = {
+                    "digest": event.digest,
+                    "tx": event.attrs.get("selected_tx"),
+                    "rx": event.attrs.get("selected_rx"),
+                    "power": event.attrs.get("selected_power"),
+                    "measurements": event.attrs.get("measurements"),
+                    "probes": event.attrs.get("probes") or [],
+                }
+    cell["schemes"] = {name: cell["schemes"][name] for name in scheme_order}
+    return cell
+
+
+def _fmt(value: Any, spec: str = ".4g") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, (int, float)):
+        return format(value, spec) if isinstance(value, float) else str(value)
+    return str(value)
+
+
+def render_storyboard(story: Dict[str, Any], max_probes: int = 32) -> str:
+    """The storyboard as markdown (``repro inspect`` default output)."""
+    lines: List[str] = [f"# Trial {story['trial']}"]
+    for cell in story["rates"]:
+        rate = cell["rate"]
+        lines.append("")
+        lines.append(f"## Search rate {rate if rate is not None else '(unscoped)'}")
+        channel = cell.get("channel")
+        if channel:
+            stats = channel["stats"]
+            lines.append(
+                f"- channel draw `{channel['digest']}` "
+                f"(|.| mean {_fmt(stats.get('mean'))}, max {_fmt(stats.get('max'))})"
+            )
+        gain = cell.get("gain_table")
+        if gain:
+            lines.append(
+                f"- genie optimum: tx {_fmt(gain['optimal_tx'])} / "
+                f"rx {_fmt(gain['optimal_rx'])} at {_fmt(gain['optimal_snr'])} dB-scale SNR"
+            )
+        for name, scheme in cell["schemes"].items():
+            lines.append("")
+            lines.append(f"### {name}")
+            selection = scheme.get("selection")
+            estimator = scheme.get("estimator")
+            lines.append(f"- probe checkpoints: {scheme['probes']}")
+            if estimator:
+                lines.append(
+                    f"- estimator: {_fmt(estimator['iterations'])} iteration(s),"
+                    f" converged {_fmt(estimator['converged'])},"
+                    f" objective {_fmt(estimator['objective'])}"
+                )
+            if selection:
+                chosen = f"tx {_fmt(selection['tx'])} / rx {_fmt(selection['rx'])}"
+                genie = (
+                    f"tx {_fmt(gain['optimal_tx'])} / rx {_fmt(gain['optimal_rx'])}"
+                    if gain
+                    else "?"
+                )
+                hit = (
+                    gain is not None
+                    and selection["tx"] == gain["optimal_tx"]
+                    and selection["rx"] == gain["optimal_rx"]
+                )
+                lines.append(
+                    f"- chosen beam: {chosen} (power {_fmt(selection['power'])});"
+                    f" genie: {genie}"
+                    + (" — MATCH" if hit else "")
+                )
+                lines.append(
+                    f"- measurements consumed: {_fmt(selection['measurements'])}"
+                )
+                probes = selection["probes"]
+                if probes:
+                    lines.append("")
+                    lines.append("| slot | tx | rx | measured power | true SNR |")
+                    lines.append("| ---: | ---: | ---: | ---: | ---: |")
+                    for probe in probes[:max_probes]:
+                        lines.append(
+                            f"| {_fmt(probe.get('slot'))} | {_fmt(probe.get('tx'))}"
+                            f" | {_fmt(probe.get('rx'))} | {_fmt(probe.get('power'))}"
+                            f" | {_fmt(probe.get('true_snr'))} |"
+                        )
+                    if len(probes) > max_probes:
+                        lines.append(
+                            f"| ... | | | {len(probes) - max_probes} more probe(s) | |"
+                        )
+            loss = cell["losses"].get(name)
+            if loss is not None:
+                lines.append(f"- SNR loss: {_fmt(loss)} dB")
+        if cell["losses"]:
+            lines.append("")
+            ranked = sorted(cell["losses"].items(), key=lambda item: item[1])
+            lines.append(
+                "Outcome: "
+                + ", ".join(f"{name} {_fmt(loss)} dB" for name, loss in ranked)
+            )
+    return "\n".join(lines) + "\n"
+
+
+def storyboard_json(story: Dict[str, Any]) -> str:
+    """The storyboard as a JSON document (``repro inspect --json``)."""
+    return json.dumps(story, indent=2, default=str) + "\n"
+
+
+def inspect_run(
+    source: Union[str, Any],
+    trial: int,
+    rate: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Load a run source and storyboard one of its trials."""
+    from repro.obs.diff import load_checkpoints
+
+    return trial_storyboard(load_checkpoints(source), trial, rate)

@@ -18,7 +18,7 @@ that exported files are well-formed; :func:`write_openmetrics` publishes
 atomically (temp file + rename) so a scraper never reads a half-written
 exposition.
 
-:func:`registry_from_trace` rebuilds a registry from ``repro.obs/1``
+:func:`registry_from_trace` rebuilds a registry from ``repro.obs/2``
 records, which is what ``repro metrics export <trace.jsonl>`` uses.
 """
 
@@ -207,7 +207,7 @@ def _owning_family(
 def registry_from_trace(
     records: Sequence[Mapping[str, Any]],
 ) -> MetricsRegistry:
-    """Fold ``repro.obs/1`` records back into a :class:`MetricsRegistry`.
+    """Fold ``repro.obs/2`` records back into a :class:`MetricsRegistry`.
 
     Spans become timer samples, counters sum, gauges keep the last write
     — the same aggregation a live :class:`MetricsRecorder` would have

@@ -96,10 +96,30 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _NullScope:
+    """Shared no-op scope for the checkpoint surface (trial/scheme scoping)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
 class Recorder:
     """Base recorder: the no-op surface instrumented code programs against."""
 
     enabled: bool = False
+
+    #: True only on recorders that digest pipeline stages (see
+    #: :mod:`repro.obs.checkpoint`). Hot paths guard ``checkpoint`` calls
+    #: with this flag so the disabled path costs one attribute load.
+    checkpoints_enabled: bool = False
 
     @property
     def metrics(self) -> Optional[MetricsRegistry]:
@@ -117,6 +137,20 @@ class Recorder:
 
     def gauge(self, name: str, value: float) -> None:
         return None
+
+    # -- checkpoint surface (no-ops unless a CheckpointRecorder is active)
+
+    def checkpoint(self, stage: str, arrays: Any, stream: Optional[str] = None, **attrs: Any):
+        """Digest one pipeline stage's arrays; no-op on the base recorder."""
+        return None
+
+    def trial_scope(self, trial: Optional[int], rate: Optional[float] = None):
+        """Scope checkpoints to one (trial, search rate); no-op by default."""
+        return _NULL_SCOPE
+
+    def scheme_scope(self, name: str):
+        """Attribute checkpoints to one scheme; no-op by default."""
+        return _NULL_SCOPE
 
     def close(self) -> None:
         return None

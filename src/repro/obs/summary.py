@@ -11,7 +11,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Union
 
 from repro.obs.metrics import timer_stats
-from repro.obs.trace import read_trace
+from repro.obs.trace import read_trace_tolerant
 
 __all__ = ["summarize_trace", "render_trace_summary", "summarize_trace_file"]
 
@@ -43,11 +43,15 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
     solver_converged: Dict[str, int] = {}
     solver_total: Dict[str, int] = {}
     shard_attempts: List[float] = []
+    checkpoint_stages: Dict[str, int] = {}
 
     for record in records:
         kind = record.get("type")
         name = record.get("name", "")
-        if kind == "span":
+        if kind == "checkpoint":
+            stage = str(record.get("stage", "?"))
+            checkpoint_stages[stage] = checkpoint_stages.get(stage, 0) + 1
+        elif kind == "span":
             durations.setdefault(name, []).append(float(record.get("dur_s", 0.0)))
             if name.startswith(SOLVER_SPAN_PREFIX):
                 attrs = record.get("attrs") or {}
@@ -117,12 +121,21 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
         "solvers": solvers,
         "parallel": parallel,
         "campaign": campaign,
+        "checkpoints": dict(sorted(checkpoint_stages.items())),
     }
 
 
 def summarize_trace_file(path: Union[str, Path]) -> Dict[str, Any]:
-    """Parse then summarize one trace file."""
-    return summarize_trace(read_trace(path))
+    """Parse then summarize one trace file.
+
+    Parsing is tolerant: malformed lines (e.g. the truncated final line a
+    killed run leaves behind) are skipped and surfaced in the summary as
+    ``skipped_lines`` rather than raised.
+    """
+    records, skipped = read_trace_tolerant(path)
+    summary = summarize_trace(records)
+    summary["skipped_lines"] = skipped
+    return summary
 
 
 def _format_seconds(seconds: float) -> str:
@@ -134,6 +147,11 @@ def _format_seconds(seconds: float) -> str:
 def render_trace_summary(summary: Mapping[str, Any], title: str = "Trace summary") -> str:
     """Render a summary dictionary as fixed-width tables."""
     lines: List[str] = [title, "=" * len(title), ""]
+
+    skipped = int(summary.get("skipped_lines", 0) or 0)
+    if skipped:
+        lines.append(f"warning: skipped {skipped} malformed trace line(s)")
+        lines.append("")
 
     spans = summary.get("spans", {})
     if spans:
@@ -192,6 +210,14 @@ def render_trace_summary(summary: Mapping[str, Any], title: str = "Trace summary
             f"  mean attempts {campaign.get('mean_attempts', 0.0):.1f}"
             f"  heartbeats {campaign.get('heartbeats', 0.0):.0f}"
         )
+        lines.append("")
+
+    checkpoints = summary.get("checkpoints", {})
+    if checkpoints:
+        lines.append("checkpoints")
+        lines.append(f"{'stage':40s} {'events':>12s}")
+        for stage, count in checkpoints.items():
+            lines.append(f"{stage[:40]:40s} {count:>12d}")
         lines.append("")
 
     counters = summary.get("counters", {})

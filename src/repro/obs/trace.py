@@ -3,10 +3,11 @@
 A :class:`TraceRecorder` is a :class:`~repro.obs.recorder.MetricsRecorder`
 that additionally streams every span, event, counter, and gauge to a
 JSON-Lines file. One record per line; the schema (version
-``repro.obs/1``) is:
+``repro.obs/2``) is:
 
 ``{"type": "trace", ...}``
-    Header: schema version, wall-clock epoch, package version.
+    Header: schema version, wall-clock epoch, package version, optional
+    run metadata (``run_meta``).
 ``{"type": "span", "name", "t0_s", "dur_s", "span_id", "parent_id", "depth", "attrs"}``
     One completed span; ``t0_s`` is seconds since the header epoch, and
     children appear before their parents (they close first).
@@ -14,11 +15,22 @@ JSON-Lines file. One record per line; the schema (version
     A point observation, e.g. one solver iteration.
 ``{"type": "counter"|"gauge", "name", "value", "t_s"}``
     Metric updates as they happen.
+``{"type": "checkpoint", "stage", "trial", "seq", "rate", "digest", ...}``
+    One numeric flight-recorder digest (new in schema v2; emitted only
+    when a :class:`~repro.obs.checkpoint.CheckpointRecorder` wraps the
+    tracer — see :mod:`repro.obs.checkpoint`).
 ``{"type": "summary", "metrics": {...}}``
     Written on :meth:`~TraceRecorder.close`: the registry's aggregation.
 
+Schema v2 is a strict superset of v1: every v1 record type is unchanged,
+so v1 traces remain readable by every consumer here.
+
 :func:`read_trace` is the inverse — it parses a trace file back into
-records and is what ``repro trace summarize`` builds on.
+records and is what ``repro trace summarize`` builds on. A killed run
+leaves a truncated final line; :func:`read_trace_tolerant` skips (and
+counts) malformed lines so summaries and exports still work on the
+partial trace, while :func:`read_trace` stays strict for callers that
+must notice corruption.
 """
 
 from __future__ import annotations
@@ -26,15 +38,25 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from time import perf_counter, time as wall_time
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import MetricsRecorder, Span
 from repro.utils.serialization import to_jsonable
 
-__all__ = ["TraceRecorder", "read_trace", "TRACE_SCHEMA"]
+__all__ = [
+    "TraceRecorder",
+    "read_trace",
+    "read_trace_tolerant",
+    "TRACE_SCHEMA",
+    "TRACE_SCHEMA_V1",
+]
 
-TRACE_SCHEMA = "repro.obs/1"
+TRACE_SCHEMA = "repro.obs/2"
+
+#: The previous schema version; still accepted by every reader (v2 only
+#: adds the ``checkpoint`` record type and the optional ``run_meta``).
+TRACE_SCHEMA_V1 = "repro.obs/1"
 
 
 class TraceRecorder(MetricsRecorder):
@@ -56,6 +78,7 @@ class TraceRecorder(MetricsRecorder):
         metrics: "MetricsRegistry | None" = None,
         openmetrics_path: "str | Path | None" = None,
         openmetrics_interval_s: float = 5.0,
+        run_meta: Optional[Dict[str, Any]] = None,
     ) -> None:
         super().__init__(metrics)
         self._path = Path(path)
@@ -67,13 +90,14 @@ class TraceRecorder(MetricsRecorder):
         )
         self._openmetrics_interval_s = openmetrics_interval_s
         self._openmetrics_last_flush: "float | None" = None
-        self._write(
-            {
-                "type": "trace",
-                "schema": TRACE_SCHEMA,
-                "epoch_unix_s": wall_time(),
-            }
-        )
+        header: Dict[str, Any] = {
+            "type": "trace",
+            "schema": TRACE_SCHEMA,
+            "epoch_unix_s": wall_time(),
+        }
+        if run_meta:
+            header["run_meta"] = run_meta
+        self._write(header)
 
     @property
     def path(self) -> Path:
@@ -138,6 +162,12 @@ class TraceRecorder(MetricsRecorder):
     def _on_gauge(self, name: str, value: float) -> None:
         self._write({"type": "gauge", "name": name, "value": value, "t_s": self._now()})
 
+    def checkpoint_record(self, payload: Dict[str, Any]) -> None:
+        """Persist one flight-recorder digest (see :mod:`repro.obs.checkpoint`)."""
+        record = {"type": "checkpoint", "t_s": self._now()}
+        record.update(payload)
+        self._write(record)
+
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
@@ -178,3 +208,33 @@ def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
                 )
             records.append(record)
     return records
+
+
+def read_trace_tolerant(
+    path: Union[str, Path],
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a trace, skipping malformed lines instead of raising.
+
+    A run killed mid-write (SIGKILL, OOM, power loss) leaves a truncated
+    final JSONL line; tolerant parsing lets ``repro trace summarize`` and
+    the exporters still work on everything that *was* recorded. Returns
+    ``(records, skipped)`` where ``skipped`` counts the dropped lines so
+    callers report the damage instead of hiding it.
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or "type" not in record:
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped

@@ -28,7 +28,12 @@ import numpy as np
 from repro.channel.batch import mean_snr_matrices
 from repro.exceptions import ConfigurationError
 from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
-from repro.sim.runner import AlgorithmFactory, TrialOutcome, _execute_schemes
+from repro.sim.runner import (
+    AlgorithmFactory,
+    TrialOutcome,
+    _checkpoint_trial_setup,
+    _execute_schemes,
+)
 from repro.sim.scenario import Scenario
 from repro.utils.rng import spawn, trial_generator
 
@@ -47,19 +52,31 @@ def run_trial_block(
     schemes: Mapping[str, AlgorithmFactory],
     search_rate: float,
     rngs: Sequence[np.random.Generator],
+    trial_indices: Optional[Sequence[int]] = None,
 ) -> List[Dict[str, TrialOutcome]]:
     """Run one block of trials with batched channel/ground-truth setup.
 
     ``rngs`` carries one per-trial generator (as produced by
     ``trial_generator``); outcomes come back in the same order and are
     bit-identical to calling :func:`repro.sim.runner.run_trial` with each
-    generator serially.
+    generator serially. ``trial_indices`` (same length as ``rngs``, when
+    given) scopes flight-recorder checkpoints to each trial's global
+    index; per-trial digests are extracted from the stacked arrays inside
+    the per-trial loop, so the emitted event sequence is identical to the
+    serial runner's.
     """
     if not schemes:
         raise ConfigurationError("run_trial_block needs at least one scheme")
     rngs = list(rngs)
     if not rngs:
         return []
+    if trial_indices is not None and len(trial_indices) != len(rngs):
+        raise ConfigurationError(
+            f"trial_indices has {len(trial_indices)} entries for {len(rngs)} rngs"
+        )
+    indices: List[Optional[int]] = (
+        list(trial_indices) if trial_indices is not None else [None] * len(rngs)
+    )
     recorder = get_recorder()
     shared = scenario.context()
     spawned = [spawn(rng, 1 + 2 * len(schemes)) for rng in rngs]
@@ -71,19 +88,22 @@ def run_trial_block(
         recorder.increment("batch.blocks")
         recorder.increment("batch.trials", len(rngs))
     outcomes: List[Dict[str, TrialOutcome]] = []
-    for streams, channel, snr_matrix in zip(spawned, channels, snr_matrices):
-        with recorder.span("trial", search_rate=search_rate) as trial_span:
-            trial_outcomes = _execute_schemes(
-                scenario,
-                shared,
-                channel,
-                snr_matrix,
-                schemes,
-                streams[1:],
-                search_rate,
-                recorder,
-            )
-            trial_span.annotate(schemes=list(trial_outcomes))
+    for index, streams, channel, snr_matrix in zip(indices, spawned, channels, snr_matrices):
+        with recorder.trial_scope(index, search_rate):
+            with recorder.span("trial", search_rate=search_rate) as trial_span:
+                if recorder.checkpoints_enabled:
+                    _checkpoint_trial_setup(recorder, channel, snr_matrix)
+                trial_outcomes = _execute_schemes(
+                    scenario,
+                    shared,
+                    channel,
+                    snr_matrix,
+                    schemes,
+                    streams[1:],
+                    search_rate,
+                    recorder,
+                )
+                trial_span.annotate(schemes=list(trial_outcomes))
         outcomes.append(trial_outcomes)
     return outcomes
 
@@ -125,11 +145,11 @@ def run_trials_batched(
         batch_size=batch_size,
     ):
         for start in range(0, num_trials, batch_size):
-            rngs = [
-                trial_generator(base_seed, trial)
-                for trial in range(start, min(start + batch_size, num_trials))
-            ]
-            for trial_outcomes in run_trial_block(scenario, schemes, search_rate, rngs):
+            trials = list(range(start, min(start + batch_size, num_trials)))
+            rngs = [trial_generator(base_seed, trial) for trial in trials]
+            for trial_outcomes in run_trial_block(
+                scenario, schemes, search_rate, rngs, trial_indices=trials
+            ):
                 outcomes.append(trial_outcomes)
                 reporter.update()
     return outcomes

@@ -43,6 +43,7 @@ from repro.obs import (
     get_recorder,
     use_recorder,
 )
+from repro.obs.checkpoint import CheckpointSpec, find_checkpointer
 from repro.sim.batch import run_trial_block
 from repro.sim.config import ScenarioConfig
 from repro.sim.runner import TrialOutcome, run_trial
@@ -136,6 +137,23 @@ def _worker_init(config: ScenarioConfig) -> None:
     _scenario_for(config)
 
 
+def _worker_aux(
+    inner: Optional[MetricsRecorder], checkpointer: Optional[Any]
+) -> Optional[Dict[str, Any]]:
+    """Package a worker's observability state for the trip home.
+
+    ``None`` when nothing was collected; otherwise a dict with the
+    metrics snapshot and/or the checkpoint event payloads, so one return
+    slot carries both without widening the tuple the tests unpack.
+    """
+    if inner is None and checkpointer is None:
+        return None
+    return {
+        "metrics": inner.metrics.snapshot() if inner is not None else None,
+        "checkpoints": checkpointer.payload() if checkpointer is not None else None,
+    }
+
+
 def _run_one_trial(
     config: ScenarioConfig,
     specs: Tuple[SchemeSpec, ...],
@@ -143,29 +161,40 @@ def _run_one_trial(
     base_seed: int,
     trial_index: int,
     collect_metrics: bool = False,
+    checkpoints: Optional[CheckpointSpec] = None,
 ) -> Tuple[Dict[str, ParallelOutcome], Optional[Dict[str, Any]]]:
     """Worker entry point: one full trial, all schemes.
 
     With ``collect_metrics`` the trial runs under a worker-local
     :class:`~repro.obs.MetricsRecorder` and the registry snapshot rides
-    back across the process boundary for the parent to merge. Recorders
-    never touch RNG streams, so outcomes are identical either way.
+    back across the process boundary for the parent to merge; with
+    ``checkpoints`` a worker-local flight recorder digests every stage
+    and the event payloads ride back the same way. Recorders never touch
+    RNG streams, so outcomes are identical either way.
     """
     scenario = _scenario_for(config)
     schemes = {spec.name: spec.build_factory() for spec in specs}
-    metrics_snapshot: Optional[Dict[str, Any]] = None
-    if collect_metrics:
-        worker_recorder = MetricsRecorder()
-        with use_recorder(worker_recorder):
+    inner = MetricsRecorder() if collect_metrics else None
+    checkpointer = checkpoints.build(inner) if checkpoints is not None else None
+    active = checkpointer if checkpointer is not None else inner
+    if active is not None:
+        with use_recorder(active):
             outcomes = run_trial(
-                scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
+                scenario,
+                schemes,
+                search_rate,
+                trial_generator(base_seed, trial_index),
+                trial_index=trial_index,
             )
-        metrics_snapshot = worker_recorder.metrics.snapshot()
     else:
         outcomes = run_trial(
-            scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
+            scenario,
+            schemes,
+            search_rate,
+            trial_generator(base_seed, trial_index),
+            trial_index=trial_index,
         )
-    return _to_parallel(outcomes), metrics_snapshot
+    return _to_parallel(outcomes), _worker_aux(inner, checkpointer)
 
 
 def _run_trial_batch(
@@ -176,6 +205,7 @@ def _run_trial_batch(
     trial_indices: Tuple[int, ...],
     collect_metrics: bool = False,
     batch_trials: Optional[int] = None,
+    checkpoints: Optional[CheckpointSpec] = None,
 ) -> Tuple[List[Dict[str, ParallelOutcome]], Optional[Dict[str, Any]]]:
     """Worker entry point: several trials amortizing one task dispatch.
 
@@ -183,8 +213,8 @@ def _run_trial_batch(
     and results cross the process boundary once per batch instead of once
     per trial) while determinism is untouched: trial ``k`` still draws
     from ``trial_generator(base_seed, k)`` no matter which batch — or
-    process — it lands in. Metrics snapshots are likewise merged once per
-    batch.
+    process — it lands in. Metrics snapshots and flight-recorder
+    checkpoint payloads are likewise merged once per batch.
 
     ``batch_trials`` additionally routes the worker's trials through the
     in-process batched engine (:func:`repro.sim.batch.run_trial_block`)
@@ -200,24 +230,30 @@ def _run_trial_batch(
             for start in range(0, len(trial_indices), batch_trials):
                 chunk = trial_indices[start : start + batch_trials]
                 rngs = [trial_generator(base_seed, trial) for trial in chunk]
-                for outcomes in run_trial_block(scenario, schemes, search_rate, rngs):
+                for outcomes in run_trial_block(
+                    scenario, schemes, search_rate, rngs, trial_indices=chunk
+                ):
                     batch_results.append(_to_parallel(outcomes))
             return
         for trial_index in trial_indices:
             outcomes = run_trial(
-                scenario, schemes, search_rate, trial_generator(base_seed, trial_index)
+                scenario,
+                schemes,
+                search_rate,
+                trial_generator(base_seed, trial_index),
+                trial_index=trial_index,
             )
             batch_results.append(_to_parallel(outcomes))
 
-    metrics_snapshot: Optional[Dict[str, Any]] = None
-    if collect_metrics:
-        worker_recorder = MetricsRecorder()
-        with use_recorder(worker_recorder):
+    inner = MetricsRecorder() if collect_metrics else None
+    checkpointer = checkpoints.build(inner) if checkpoints is not None else None
+    active = checkpointer if checkpointer is not None else inner
+    if active is not None:
+        with use_recorder(active):
             _run_all()
-        metrics_snapshot = worker_recorder.metrics.snapshot()
     else:
         _run_all()
-    return batch_results, metrics_snapshot
+    return batch_results, _worker_aux(inner, checkpointer)
 
 
 def _auto_batch_size(num_trials: int, max_workers: Optional[int]) -> int:
@@ -282,6 +318,15 @@ def run_trials_parallel(
     recorder = get_recorder()
     reporter = ProgressReporter(num_trials, progress, label="trials")
     collect = recorder.enabled and recorder.metrics is not None
+    # When the parent runs under a flight recorder, ship its (picklable)
+    # configuration to every worker and absorb the recorded events back
+    # in submission order — the merged sequence is identical to a serial
+    # run's because each event is keyed by (rate, trial, seq), never by
+    # worker arrival time.
+    parent_checkpointer = find_checkpointer(recorder)
+    checkpoint_spec = (
+        parent_checkpointer.spec_for_workers() if parent_checkpointer is not None else None
+    )
 
     if max_workers == 1:
         # In-process: the parent's recorder is already active, so spans and
@@ -344,13 +389,14 @@ def run_trials_parallel(
                     batch,
                     collect,
                     batch_trials,
+                    checkpoint_spec,
                 )
                 for batch in batches
             ]
             results = []
             for batch_index, future in enumerate(futures):
                 try:
-                    batch_outcomes, snapshot = future.result()
+                    batch_outcomes, aux = future.result()
                 except BrokenProcessPool as error:
                     # A worker died hard (os._exit, OOM kill, segfault).
                     # The pool is unrecoverable, but the batch is not:
@@ -365,7 +411,7 @@ def run_trials_parallel(
                     recorder.event(
                         "parallel.pool_broken", batch=batch_index, error=str(error)
                     )
-                    batch_outcomes, snapshot = _run_trial_batch(
+                    batch_outcomes, aux = _run_trial_batch(
                         config,
                         specs,
                         search_rate,
@@ -373,11 +419,16 @@ def run_trials_parallel(
                         batches[batch_index],
                         collect,
                         batch_trials,
+                        checkpoint_spec,
                     )
                 results.extend(batch_outcomes)
+                snapshot = aux.get("metrics") if aux else None
                 if collect and snapshot:
                     recorder.metrics.merge_snapshot(snapshot)
                     recorder.event("parallel.batch_merged", batch=batch_index)
+                worker_events = aux.get("checkpoints") if aux else None
+                if parent_checkpointer is not None and worker_events:
+                    parent_checkpointer.absorb(worker_events)
                 for _ in batch_outcomes:
                     reporter.update()
         span.annotate(merged_metrics=collect, num_batches=len(batches))

@@ -27,7 +27,7 @@ from repro.measurement.measurer import MeasurementEngine
 from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
 from repro.sim.metrics import PairEvaluation, evaluate_pair
 from repro.sim.scenario import Scenario
-from repro.utils.rng import spawn, trial_generator
+from repro.utils.rng import labeled_spawn, trial_generator
 
 __all__ = ["AlgorithmFactory", "TrialOutcome", "standard_schemes", "run_trial", "run_trials"]
 
@@ -70,6 +70,78 @@ def standard_schemes(
     }
 
 
+def _stream_labels(schemes: Mapping[str, AlgorithmFactory]) -> List[str]:
+    """RNG stream labels for one trial: channel, then per-scheme pairs.
+
+    Order matches the historical ``spawn(rng, 1 + 2 * len(schemes))``
+    layout exactly, so labeling the streams changes no draw.
+    """
+    labels = ["channel"]
+    for name in schemes:
+        labels.append(f"{name}.measurement")
+        labels.append(f"{name}.algorithm")
+    return labels
+
+
+def _checkpoint_trial_setup(recorder, channel: ClusteredChannel, snr_matrix: np.ndarray) -> None:
+    """Flight-recorder digests for a trial's channel draw and gain table."""
+    recorder.checkpoint(
+        "channel.draw",
+        {
+            "powers": channel.powers,
+            "tx_steering": channel.tx_steering,
+            "rx_steering": channel.rx_steering,
+        },
+        stream="channel",
+    )
+    tx, rx = np.unravel_index(int(np.argmax(snr_matrix)), snr_matrix.shape)
+    recorder.checkpoint(
+        "channel.gain_table",
+        {"snr": snr_matrix},
+        optimal_tx=int(tx),
+        optimal_rx=int(rx),
+        optimal_snr=float(snr_matrix[tx, rx]),
+    )
+
+
+def _checkpoint_beam_selection(
+    recorder, name: str, result: AlignmentResult, snr_matrix: np.ndarray
+) -> None:
+    """Digest one scheme's final selection; the probe table rides along
+    as attrs so ``repro inspect`` can storyboard the decision."""
+    probes = []
+    for measurement in result.trace:
+        pair = measurement.pair
+        probes.append(
+            {
+                "tx": pair.tx_index if pair is not None else None,
+                "rx": pair.rx_index if pair is not None else None,
+                "slot": measurement.slot,
+                "power": measurement.power,
+                "true_snr": (
+                    float(snr_matrix[pair.tx_index, pair.rx_index])
+                    if pair is not None
+                    else None
+                ),
+            }
+        )
+    recorder.checkpoint(
+        "beam.selection",
+        {
+            "selected": np.array(
+                [result.selected.tx_index, result.selected.rx_index], dtype=np.int64
+            ),
+            "power": np.array([result.selected_power], dtype=float),
+        },
+        stream=f"{name}.algorithm",
+        measurements=result.measurements_used,
+        selected_tx=result.selected.tx_index,
+        selected_rx=result.selected.rx_index,
+        selected_power=float(result.selected_power),
+        probes=probes,
+    )
+
+
 def _execute_schemes(
     scenario: Scenario,
     shared,
@@ -95,10 +167,14 @@ def _execute_schemes(
         )
         budget = shared.make_budget(search_rate)
         context = AlignmentContext(
-            shared.tx_codebook, shared.rx_codebook, engine, budget
+            shared.tx_codebook,
+            shared.rx_codebook,
+            engine,
+            budget,
+            stream=f"{name}.measurement",
         )
         algorithm = factory(channel)
-        with recorder.span(f"scheme.{name}") as scheme_span:
+        with recorder.scheme_scope(name), recorder.span(f"scheme.{name}") as scheme_span:
             result = algorithm.align(context, algo_rng)
             outcome = TrialOutcome(
                 algorithm=name,
@@ -110,10 +186,19 @@ def _execute_schemes(
                 measurements=result.measurements_used,
                 search_rate=result.search_rate,
             )
+            if recorder.checkpoints_enabled:
+                _checkpoint_beam_selection(recorder, name, result, snr_matrix)
         if recorder.enabled:
             recorder.increment(f"scheme.{name}.measurements", result.measurements_used)
             recorder.increment(f"scheme.{name}.trials")
         outcomes[name] = outcome
+    if recorder.checkpoints_enabled:
+        recorder.checkpoint(
+            "trial.metrics",
+            {"loss_db": np.array([outcomes[name].loss_db for name in outcomes])},
+            schemes=list(outcomes),
+            losses={name: float(outcomes[name].loss_db) for name in outcomes},
+        )
     return outcomes
 
 
@@ -122,29 +207,39 @@ def run_trial(
     schemes: Mapping[str, AlgorithmFactory],
     search_rate: float,
     rng: np.random.Generator,
+    trial_index: Optional[int] = None,
 ) -> Dict[str, TrialOutcome]:
-    """One channel draw; every scheme aligns under the same budget."""
+    """One channel draw; every scheme aligns under the same budget.
+
+    ``trial_index`` scopes flight-recorder checkpoints (it never affects
+    the computation); callers that know the trial's global index pass it
+    so digests from different engines compare at the same key.
+    """
     if not schemes:
         raise ConfigurationError("run_trial needs at least one scheme")
     recorder = get_recorder()
     shared = scenario.context()
-    with recorder.span("trial", search_rate=search_rate) as trial_span:
-        channel_rng, *scheme_rngs = spawn(rng, 1 + 2 * len(schemes))
-        channel = scenario.sample_channel(channel_rng)
-        # This both evaluates the trial's ground truth and warms the
-        # channel's codebook-coupling table that measure_pair reuses.
-        snr_matrix = channel.mean_snr_matrix(shared.tx_codebook, shared.rx_codebook)
-        outcomes = _execute_schemes(
-            scenario,
-            shared,
-            channel,
-            snr_matrix,
-            schemes,
-            scheme_rngs,
-            search_rate,
-            recorder,
-        )
-        trial_span.annotate(schemes=list(outcomes))
+    with recorder.trial_scope(trial_index, search_rate):
+        with recorder.span("trial", search_rate=search_rate) as trial_span:
+            streams = labeled_spawn(rng, _stream_labels(schemes))
+            scheme_rngs = list(streams.values())[1:]
+            channel = scenario.sample_channel(streams["channel"])
+            # This both evaluates the trial's ground truth and warms the
+            # channel's codebook-coupling table that measure_pair reuses.
+            snr_matrix = channel.mean_snr_matrix(shared.tx_codebook, shared.rx_codebook)
+            if recorder.checkpoints_enabled:
+                _checkpoint_trial_setup(recorder, channel, snr_matrix)
+            outcomes = _execute_schemes(
+                scenario,
+                shared,
+                channel,
+                snr_matrix,
+                schemes,
+                scheme_rngs,
+                search_rate,
+                recorder,
+            )
+            trial_span.annotate(schemes=list(outcomes))
     return outcomes
 
 
@@ -177,7 +272,13 @@ def run_trials(
     ):
         for trial in range(num_trials):
             outcomes.append(
-                run_trial(scenario, schemes, search_rate, trial_generator(base_seed, trial))
+                run_trial(
+                    scenario,
+                    schemes,
+                    search_rate,
+                    trial_generator(base_seed, trial),
+                    trial_index=trial,
+                )
             )
             reporter.update()
     return outcomes

@@ -85,6 +85,7 @@ def effectiveness_sweep(
     batch_trials: Optional[int] = None,
     store=None,
     shard_trials: Optional[int] = None,
+    checkpoints: bool = False,
 ) -> EffectivenessSweep:
     """Run every scheme at every search rate; collect per-trial losses.
 
@@ -116,6 +117,7 @@ def effectiveness_sweep(
             batch_trials=batch_trials,
             store=store,
             shard_trials=shard_trials,
+            checkpoints=checkpoints,
         )
     rates = [float(rate) for rate in search_rates]
     if not rates:
@@ -181,6 +183,7 @@ def _effectiveness_sweep_via_campaign(
     batch_trials: Optional[int],
     store,
     shard_trials: Optional[int],
+    checkpoints: bool = False,
 ) -> EffectivenessSweep:
     """The ``store=`` path: plan shards, run/resume, reassemble."""
     from repro.campaign import (
@@ -215,7 +218,11 @@ def _effectiveness_sweep_via_campaign(
         shard_trials=shard_trials,
     )
     run_campaign(
-        plan, store, batch_trials=batch_trials, progress=progress
+        plan,
+        store,
+        batch_trials=batch_trials,
+        progress=progress,
+        checkpoints=checkpoints,
     )
     return assemble_effectiveness_sweep(plan, store)
 

@@ -13,11 +13,11 @@ Reproducibility rules for the whole library:
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Dict, Iterable, List, Union
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn", "trial_generator", "complex_normal"]
+__all__ = ["as_generator", "spawn", "labeled_spawn", "trial_generator", "complex_normal"]
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -32,6 +32,23 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
 def spawn(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
     """Spawn ``count`` statistically independent child generators."""
     return [np.random.default_rng(seq) for seq in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def labeled_spawn(
+    rng: np.random.Generator, labels: Iterable[str]
+) -> Dict[str, np.random.Generator]:
+    """Spawn one named child generator per label, in label order.
+
+    The derivation is bit-identical to ``spawn(rng, len(labels))`` — the
+    labels only *name* the streams (checkpoint events and ``repro diff``
+    output report "Proposed.measurement" instead of a bare spawn index);
+    they never enter the seed derivation, so renaming a stream never
+    perturbs any draw.
+    """
+    labels = list(labels)
+    if len(set(labels)) != len(labels):
+        raise ValueError(f"labeled_spawn labels must be distinct, got {labels}")
+    return dict(zip(labels, spawn(rng, len(labels))))
 
 
 def trial_generator(base_seed: int, trial_index: int) -> np.random.Generator:

@@ -40,7 +40,7 @@ class TestChromeTrace:
         payload = chrome_trace(trace_records)
         validate_chrome_trace(payload)
         assert payload["displayTimeUnit"] == "ms"
-        assert payload["otherData"]["schema"] == "repro.obs/1"
+        assert payload["otherData"]["schema"] == "repro.obs/2"
 
     def test_phases_present(self, trace_records):
         events = chrome_trace(trace_records)["traceEvents"]
