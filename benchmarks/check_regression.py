@@ -52,9 +52,14 @@ GATED_STATS = ("mean_s", "p50_s")
 MIN_GATED_SECONDS = 1e-5
 
 
-def load_session(bench_dir: Path) -> Dict[str, Dict[str, float]]:
-    """All BENCH_<label>.json files in a directory, keyed by label."""
-    entries: Dict[str, Dict[str, float]] = {}
+def load_session(bench_dir: Path) -> Dict[str, Dict[str, object]]:
+    """All BENCH_<label>.json files in a directory, keyed by label.
+
+    Besides the timing statistics each entry carries the ``backend``
+    label the session's conftest stamped (the array-backend tier that
+    produced the timings), when present.
+    """
+    entries: Dict[str, Dict[str, object]] = {}
     for path in sorted(bench_dir.glob("BENCH_*.json")):
         payload = json.loads(path.read_text(encoding="utf-8"))
         label = payload.get("name") or path.stem[len("BENCH_") :]
@@ -65,14 +70,19 @@ def load_session(bench_dir: Path) -> Dict[str, Dict[str, float]]:
         }
         if "count" in payload:
             entries[label]["count"] = float(payload["count"])
+        if "backend" in payload:
+            entries[label]["backend"] = str(payload["backend"])
     return entries
 
 
-def load_baseline(path: Path) -> Dict[str, Dict[str, float]]:
-    """The committed baseline's per-label statistics."""
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """The committed baseline's per-label statistics (+ backend labels)."""
     payload = json.loads(path.read_text(encoding="utf-8"))
     return {
-        label: {key: float(value) for key, value in stats.items()}
+        label: {
+            key: value if key == "backend" else float(value)
+            for key, value in stats.items()
+        }
         for label, stats in payload["entries"].items()
     }
 
@@ -86,7 +96,7 @@ def write_baseline(path: Path, entries: Dict[str, Dict[str, float]]) -> None:
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
-def _scale(entries: Dict[str, Dict[str, float]]) -> Optional[float]:
+def _scale(entries: Dict[str, Dict[str, object]]) -> Optional[float]:
     """The side's calibration timing, if recorded.
 
     The median round is preferred over the mean: one contended
@@ -103,8 +113,8 @@ def _scale(entries: Dict[str, Dict[str, float]]) -> Optional[float]:
 
 
 def new_labels(
-    baseline: Dict[str, Dict[str, float]],
-    session: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, object]],
+    session: Dict[str, Dict[str, object]],
 ) -> List[str]:
     """Session labels with no baseline entry (sorted; calibration excluded).
 
@@ -116,8 +126,8 @@ def new_labels(
 
 
 def compare(
-    baseline: Dict[str, Dict[str, float]],
-    session: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, object]],
+    session: Dict[str, Dict[str, object]],
     threshold: float,
 ) -> List[str]:
     """Regression messages (empty list = gate passes).
@@ -145,6 +155,21 @@ def compare(
             continue
         if label not in session:
             print(f"  [skip] {label}: not measured this session")
+            continue
+        base_backend = baseline[label].get("backend")
+        session_backend = session[label].get("backend")
+        if (
+            base_backend is not None
+            and session_backend is not None
+            and base_backend != session_backend
+        ):
+            # Timings from different array-backend tiers are not a
+            # regression signal either way (an accelerated session must
+            # not lower the reference baseline, nor fail against it).
+            print(
+                f"  [skip] {label}: backend mismatch"
+                f" ({session_backend} session vs {base_backend} baseline), not gated"
+            )
             continue
         for stat in GATED_STATS:
             base_value = baseline[label].get(stat)

@@ -6,15 +6,23 @@ single repo-root ``BENCH_<tag>.json`` — e.g. ``BENCH_PR5.json`` — so a
 PR's perf snapshot is tracked in-repo alongside the code that produced
 it, and the trajectory across PRs is a ``git log`` over those files.
 
-Per label the artifact carries the raw wall-clock statistics plus the
-calibration-normalized mean (mean divided by the session's calibration
-median), which is the machine-independent number to compare across PRs.
-Format details live in ``docs/performance.md``.
+Per label the artifact carries the raw wall-clock statistics, the
+array-backend tier that produced them (stamped by the bench conftest),
+and the calibration-normalized mean (mean divided by *that session's*
+calibration median), which is the machine-independent number to compare
+across PRs. Format details live in ``docs/performance.md``.
 
-Usage (after a bench run has written BENCH_*.json into ``--bench-dir``)::
+``--bench-dir`` is repeatable so one trajectory can fold several bench
+sessions — e.g. a numpy-tier and a numba-tier run of the same suite.
+Each directory is normalized by its own calibration label; when the same
+benchmark label appears in more than one directory, the entries are
+disambiguated as ``label[backend]``.
+
+Usage (after bench runs have written BENCH_*.json into the dirs)::
 
     python benchmarks/make_trajectory.py --tag PR5
-    python benchmarks/make_trajectory.py --tag PR5 --bench-dir /tmp/bench --out BENCH_PR5.json
+    python benchmarks/make_trajectory.py --tag PR7 \
+        --bench-dir /tmp/bench-numpy --bench-dir /tmp/bench-numba
 
 Stdlib-only, like ``check_regression.py``.
 """
@@ -25,6 +33,7 @@ import argparse
 import json
 import os
 import sys
+from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -51,31 +60,61 @@ def load_bench_files(bench_dir: Path, skip: Optional[str] = None) -> Dict[str, d
     return entries
 
 
-def build_trajectory(tag: str, entries: Dict[str, dict]) -> dict:
-    """The trajectory payload: raw stats + calibration-normalized means."""
-    calibration = entries.get(CALIBRATION_LABEL, {})
-    scale = calibration.get("p50_s") or calibration.get("mean_s")
+def build_trajectory(tag: str, sessions: List[Dict[str, dict]]) -> dict:
+    """The trajectory payload: raw stats + calibration-normalized means.
+
+    ``sessions`` holds one label->stats mapping per bench directory.
+    Every session normalizes by its own calibration median; labels
+    measured by more than one session are keyed ``label[backend]``.
+    """
+    counts: Counter = Counter(
+        label
+        for entries in sessions
+        for label in entries
+        if label != CALIBRATION_LABEL
+    )
     folded: Dict[str, dict] = {}
-    for label in sorted(entries):
-        if label == CALIBRATION_LABEL:
-            continue
-        stats = entries[label]
-        entry = {
-            key: stats[key]
-            for key in ("count", "mean_s", "p50_s", "p95_s")
-            if key in stats
-        }
-        if scale and "mean_s" in stats:
-            entry["mean_normalized"] = stats["mean_s"] / scale
-        folded[label] = entry
+    calibrations: List[dict] = []
+    for entries in sessions:
+        calibration = entries.get(CALIBRATION_LABEL, {})
+        if calibration:
+            calibrations.append(calibration)
+        scale = calibration.get("p50_s") or calibration.get("mean_s")
+        for label in sorted(entries):
+            if label == CALIBRATION_LABEL:
+                continue
+            stats = entries[label]
+            entry = {
+                key: stats[key]
+                for key in ("count", "mean_s", "p50_s", "p95_s")
+                if key in stats
+            }
+            backend = stats.get("backend")
+            if backend is not None:
+                entry["backend"] = backend
+            if "backend_requested" in stats:
+                entry["backend_requested"] = stats["backend_requested"]
+            if scale and "mean_s" in stats:
+                entry["mean_normalized"] = stats["mean_s"] / scale
+            key = label
+            if counts[label] > 1:
+                # Disambiguate by the *requested* tier: a session that
+                # fell back still names the tier it stood in for, so a
+                # numpy run and a fallback numba run stay distinct.
+                suffix = stats.get("backend_requested") or backend
+                key = f"{label}[{suffix if suffix is not None else len(folded)}]"
+            while key in folded:
+                key += "'"
+            folded[key] = entry
+    primary = calibrations[0] if calibrations else {}
     return {
         "kind": "bench-trajectory-v1",
         "version": TRAJECTORY_VERSION,
         "tag": tag,
         "calibration": {
-            key: calibration[key]
+            key: primary[key]
             for key in ("count", "mean_s", "p50_s", "p95_s")
-            if key in calibration
+            if key in primary
         },
         "entries": folded,
     }
@@ -89,8 +128,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--bench-dir",
         type=Path,
-        default=Path(os.environ.get("REPRO_BENCH_DIR", REPO_ROOT)),
-        help="directory holding the session's BENCH_*.json files",
+        action="append",
+        default=None,
+        help=(
+            "directory holding a session's BENCH_*.json files; repeatable"
+            " to fold several sessions (e.g. one per backend tier) into"
+            " one trajectory (default: $REPRO_BENCH_DIR or the repo root)"
+        ),
     )
     parser.add_argument(
         "--out",
@@ -100,12 +144,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    bench_dirs = args.bench_dir or [
+        Path(os.environ.get("REPRO_BENCH_DIR", REPO_ROOT))
+    ]
     out = args.out if args.out is not None else REPO_ROOT / f"BENCH_{args.tag}.json"
-    entries = load_bench_files(args.bench_dir, skip=out.name)
-    if not entries:
-        print(f"no BENCH_*.json files found in {args.bench_dir}", file=sys.stderr)
+    sessions = [
+        load_bench_files(bench_dir, skip=out.name) for bench_dir in bench_dirs
+    ]
+    sessions = [entries for entries in sessions if entries]
+    if not sessions:
+        dirs = ", ".join(str(d) for d in bench_dirs)
+        print(f"no BENCH_*.json files found in {dirs}", file=sys.stderr)
         return 1
-    payload = build_trajectory(args.tag, entries)
+    payload = build_trajectory(args.tag, sessions)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     labeled = len(payload["entries"])
     print(f"wrote {out} ({labeled} labels, tag {args.tag})")

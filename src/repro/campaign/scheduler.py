@@ -35,6 +35,7 @@ from repro.exceptions import CampaignAborted, ConfigurationError, ShardExecution
 from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
 from repro.obs.checkpoint import CheckpointSpec, find_checkpointer
 from repro.sim.parallel import ParallelOutcome, _run_trial_batch, _worker_init
+from repro.xp import active_backend, resolve_backend
 
 __all__ = [
     "FaultInjector",
@@ -179,6 +180,7 @@ def run_campaign(
     progress: Optional[ProgressCallback] = None,
     heartbeats: bool = True,
     checkpoints: bool = False,
+    backend: Optional[str] = None,
 ) -> CampaignReport:
     """Execute every pending shard of ``plan``; skip completed ones.
 
@@ -209,6 +211,16 @@ def run_campaign(
     streams, so artifacts' ``result`` blocks are bit-identical either
     way.
 
+    ``backend`` selects the array-backend tier (see :mod:`repro.xp`)
+    every shard's kernels run on; it is resolved once up front (an
+    unavailable accelerated tier warns and degrades to the reference
+    tier here, not once per shard) and the *resolved* name is shipped to
+    workers and recorded in every shard artifact's provenance block —
+    artifacts always state which tier actually produced them. The
+    backend is an execution knob like ``batch_trials``: it does not
+    enter shard digests, so artifacts produced by different tiers
+    occupy the same store slot and resume works across tiers.
+
     Safe to call repeatedly with the same arguments: completed shards are
     skipped, so this is also the *resume* entry point.
     """
@@ -216,6 +228,9 @@ def run_campaign(
         raise ConfigurationError(f"retries must be >= 0, got {retries}")
     if batch_trials is not None and batch_trials < 1:
         raise ConfigurationError(f"batch_trials must be >= 1, got {batch_trials}")
+    backend_name = (
+        resolve_backend(backend).name if backend is not None else active_backend().name
+    )
     recorder = get_recorder()
     parent_checkpointer = find_checkpointer(recorder)
     checkpoint_spec: Optional[CheckpointSpec] = None
@@ -271,6 +286,7 @@ def run_campaign(
             collect if checkpoint_spec is not None else False,
             batch_trials,
             checkpoint_spec,
+            backend_name,
         )
         snapshot = aux.get("metrics") if aux else None
         if collect and snapshot:
@@ -283,6 +299,7 @@ def run_campaign(
         num_shards=len(plan.shards),
         total_trials=plan.total_trials,
         workers=max_workers or 1,
+        backend=backend_name,
     ) as campaign_span:
         pending = [
             (index, shard)
@@ -316,6 +333,7 @@ def run_campaign(
                         collect,
                         batch_trials,
                         checkpoint_spec,
+                        backend_name,
                     )
 
             pending_indices = {index for index, _ in pending}
@@ -405,7 +423,7 @@ def run_campaign(
                                 time.sleep(backoff_s * (2 ** (attempt - 1)))
                     if losses is None:
                         continue
-                    store.put(shard, losses, digests=shard_digests)
+                    store.put(shard, losses, digests=shard_digests, backend=backend_name)
                     if parent_checkpointer is not None and shard_digests:
                         parent_checkpointer.absorb(shard_digests)
                     if fault_injector is not None and fault_injector.corrupts(index):

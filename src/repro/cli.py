@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 from contextlib import ExitStack
 from typing import List, Optional
@@ -57,6 +58,8 @@ from repro.sim.runner import run_trial, standard_schemes
 from repro.sim.scenario import Scenario
 from repro.utils.serialization import dump
 from repro.version import __version__
+from repro.xp import ENV_VAR as BACKEND_ENV_VAR
+from repro.xp import registered_backends, use_backend
 
 __all__ = ["main", "build_parser"]
 
@@ -87,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd = commands.add_parser("run", help="run a registered experiment")
     run_cmd.add_argument("experiment", help="experiment id (see `repro list`)")
     run_cmd.add_argument("--quick", action="store_true", help="small/fast variant")
+    _add_backend_argument(run_cmd)
     run_cmd.add_argument("--trials", type=int, default=None, help="override trial count")
     run_cmd.add_argument("--seed", type=int, default=None, help="override base seed")
     run_cmd.add_argument("--json", default=None, help="also write result data as JSON")
@@ -214,6 +218,7 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="require a digest manifest covering every shard trial at assembly",
         )
+        _add_backend_argument(verb_cmd)
         verb_cmd.set_defaults(handler=_handle_campaign_run)
 
     status_cmd = campaign_sub.add_parser(
@@ -279,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     align_cmd.add_argument("--rate", type=float, default=0.1, help="search rate (0, 1]")
     align_cmd.add_argument("--snr-db", type=float, default=20.0)
     align_cmd.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(align_cmd)
     align_cmd.add_argument(
         "--trace", default=None, help="write a structured JSONL trace to this path"
     )
@@ -349,6 +355,37 @@ def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="rows per hotspot table (default 15)",
     )
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The array-backend tier option shared by run/align/campaign verbs."""
+    parser.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default=None,
+        help=(
+            "array backend tier (default: $REPRO_BACKEND, else the"
+            " bit-exact numpy reference tier); accelerated tiers fall"
+            " back to numpy with a warning when unavailable"
+        ),
+    )
+
+
+def _enter_backend(args: argparse.Namespace, stack: ExitStack) -> Optional[str]:
+    """Install the ``--backend`` selection for the handler's lifetime.
+
+    Enters a :func:`repro.xp.use_backend` scope and exports
+    ``REPRO_BACKEND`` so worker processes spawned by campaign/parallel
+    pools inherit the choice. Returns the *resolved* backend name (for
+    provenance), or ``None`` when no ``--backend`` was given — the
+    ambient ``REPRO_BACKEND``/default semantics then apply unchanged.
+    """
+    name = getattr(args, "backend", None)
+    if name is None:
+        return None
+    active = stack.enter_context(use_backend(name))
+    os.environ[BACKEND_ENV_VAR] = active.name
+    return active.name
 
 
 def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -508,6 +545,8 @@ def _handle_run(args: argparse.Namespace) -> int:
                 f"note: experiment {args.experiment!r} does not support batching",
                 file=sys.stderr,
             )
+    if args.backend is not None and _accepts_kwarg(runner, "backend"):
+        overrides["backend"] = args.backend
     if args.store is not None:
         if _accepts_kwarg(runner, "store"):
             overrides["store"] = args.store
@@ -523,6 +562,7 @@ def _handle_run(args: argparse.Namespace) -> int:
         except OSError as error:
             print(f"error: cannot write trace {args.trace}: {error}", file=sys.stderr)
             return 2
+        _enter_backend(args, stack)
         if recorder is not None:
             stack.enter_context(use_recorder(recorder))
         if args.trace:
@@ -618,21 +658,24 @@ def _handle_campaign_run(args: argparse.Namespace) -> int:
         f"campaign {plan.digest[:12]}: {len(plan.shards)} shards"
         f" ({plan.total_trials} trials), {before.done} already done"
     )
-    try:
-        report = run_campaign(
-            plan,
-            store,
-            max_workers=args.workers,
-            batch_trials=args.batch_trials,
-            retries=args.retries,
-            backoff_s=args.backoff,
-            timeout_s=args.timeout,
-            progress=print_progress if args.progress else None,
-            checkpoints=args.checkpoints,
-        )
-    except CampaignError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    with ExitStack() as stack:
+        backend_name = _enter_backend(args, stack)
+        try:
+            report = run_campaign(
+                plan,
+                store,
+                max_workers=args.workers,
+                batch_trials=args.batch_trials,
+                retries=args.retries,
+                backoff_s=args.backoff,
+                timeout_s=args.timeout,
+                progress=print_progress if args.progress else None,
+                checkpoints=args.checkpoints,
+                backend=args.backend,
+            )
+        except CampaignError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     print(
         f"executed {report.executed} shards, skipped {report.skipped},"
         f" {report.retries} retries, {report.fallbacks} fallbacks"
@@ -648,11 +691,15 @@ def _handle_campaign_run(args: argparse.Namespace) -> int:
         print(f"verified digest manifests for all {len(plan.shards)} shard(s)")
     print(render_effectiveness(sweep, f"Campaign sweep ({args.channel})"))
     if args.json:
+        extra = {"backend": backend_name} if backend_name is not None else {}
         save_effectiveness_sweep(
             sweep,
             args.json,
             provenance=build_provenance(
-                base_seed=plan.base_seed, num_trials=plan.num_trials, config=config
+                base_seed=plan.base_seed,
+                num_trials=plan.num_trials,
+                config=config,
+                **extra,
             ),
         )
         print(f"\nwrote {args.json}")
@@ -881,6 +928,7 @@ def _handle_align(args: argparse.Namespace) -> int:
 
             profiler = ProfilingRecorder(inner=recorder, mode=args.profile_mode)
         stack.enter_context(use_recorder(profiler if profiler is not None else recorder))
+        _enter_backend(args, stack)
         outcomes = run_trial(
             scenario,
             standard_schemes(),

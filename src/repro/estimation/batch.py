@@ -39,15 +39,15 @@ from repro.mc.result import SolverResult
 from repro.obs import get_recorder
 from repro.utils.linalg import hermitian, project_psd
 from repro.utils.validation import check_nonnegative, check_positive
+from repro.xp import active_backend
+from repro.xp.backend import EIGH_LOWER_GUFUNC
 
 __all__ = ["estimate_ml_covariance_batch", "soft_threshold_eigenvalues_batch"]
 
-try:  # numpy-internal eigh gufunc; guarded by the public fallback below
-    from numpy.linalg import _umath_linalg as _umath
-
-    _EIGH_LOWER = _umath.eigh_lo
-except (ImportError, AttributeError):  # pragma: no cover - numpy internals moved
-    _EIGH_LOWER = None
+# The numpy-internal eigh gufunc handle, kept as a module attribute so
+# tests can force the public ``np.linalg.eigh`` fallback by patching it
+# to ``None``; it is threaded into the active backend's prox call.
+_EIGH_LOWER = EIGH_LOWER_GUFUNC
 
 
 def soft_threshold_eigenvalues_batch(
@@ -57,37 +57,33 @@ def soft_threshold_eigenvalues_batch(
     """Stacked eigenvalue soft-threshold prox over ``(B, N, N)`` matrices.
 
     ``thresholds`` is a scalar or a ``(B,)`` vector (one threshold per
-    matrix). Each slice of the result is bit-identical to the serial
-    ``_soft_threshold_hot`` prox on that matrix: the same eigh gufunc
-    decomposes the whole stack in one call (``np.linalg.eigh`` is the
-    fallback when the internal gufunc is unavailable — it accepts stacks
-    natively), and the reconstruction is one batched GEMM.
+    matrix). On the reference tier each slice of the result is
+    bit-identical to the serial ``_soft_threshold_hot`` prox on that
+    matrix: the same eigh gufunc decomposes the whole stack in one call
+    (``np.linalg.eigh`` is the fallback when the internal gufunc is
+    unavailable — it accepts stacks natively), and the reconstruction is
+    one batched GEMM. Accelerated tiers keep the LAPACK decomposition
+    and JIT the reconstruction.
     """
     matrices = np.asarray(matrices)
     thresholds = np.asarray(thresholds, dtype=float)
-    if _EIGH_LOWER is not None and matrices.dtype == np.complex128:
-        values, vectors = _EIGH_LOWER(matrices, signature="D->dD")
-    else:
-        values, vectors = np.linalg.eigh(matrices)
-    shifted = values - (thresholds[:, None] if thresholds.ndim else thresholds)
-    shrunk = np.clip(shifted, 0.0, None)
-    return np.matmul(vectors * shrunk[:, None, :], np.conj(vectors.transpose(0, 2, 1)))
+    return active_backend().soft_threshold_eigenvalues_batch(
+        matrices, thresholds, eigh_gufunc=_EIGH_LOWER
+    )
 
 
 def _batch_apply(
     probes_conj: np.ndarray, matrices: np.ndarray, probes: np.ndarray
 ) -> np.ndarray:
     """Stacked quadratic forms ``[Re(v_j^H Q_b v_j)]_{b,j}``."""
-    return np.real(np.einsum("bnm,bnk,bkm->bm", probes_conj, matrices, probes))
+    return active_backend().batch_quadratic_forms(probes_conj, matrices, probes)
 
 
 def _batch_adjoint(
     probes: np.ndarray, probes_conj: np.ndarray, weights: np.ndarray
 ) -> np.ndarray:
     """Stacked adjoints ``sum_j w_{b,j} v_j v_j^H`` (Hermitian part)."""
-    weighted = probes * weights[:, None, :]
-    outer = np.matmul(weighted, probes_conj.transpose(0, 2, 1))
-    return (outer + np.conj(outer.transpose(0, 2, 1))) / 2.0
+    return active_backend().batch_adjoint(probes, probes_conj, weights)
 
 
 def _batch_nll(
@@ -98,12 +94,12 @@ def _batch_nll(
     offsets: np.ndarray,
 ):
     """Stacked NLL values and gradients (one einsum + one GEMM)."""
-    lambdas = _batch_apply(probes_conj, matrices, probes) + offsets
+    backend = active_backend()
+    lambdas = backend.batch_quadratic_forms(probes_conj, matrices, probes) + offsets
     if np.any(lambdas <= 0):
         raise ValidationError("expected powers must be positive; is Q PSD?")
-    values = np.sum(np.log(lambdas) + powers / lambdas, axis=1)
-    weights = 1.0 / lambdas - powers / lambdas**2
-    return values, _batch_adjoint(probes, probes_conj, weights)
+    values, weights = backend.nll_terms(lambdas, powers)
+    return values, backend.batch_adjoint(probes, probes_conj, weights)
 
 
 def _solve_batch(

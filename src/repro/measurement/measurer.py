@@ -25,6 +25,7 @@ from repro.exceptions import ValidationError
 from repro.types import BeamPair
 from repro.utils.rng import complex_normal
 from repro.utils.validation import check_unit_norm
+from repro.xp import active_backend
 
 __all__ = ["Measurement", "MeasurementEngine"]
 
@@ -167,15 +168,19 @@ class MeasurementEngine:
     ) -> List[Measurement]:
         """Measure several codebook beam pairs in one fused RNG block.
 
-        Bit-identical to calling :meth:`measure_pair` per pair in order:
-        the serial path consumes, per measurement, ``count*K`` gain reals,
-        ``count*K`` gain imaginaries, ``count`` noise reals, and ``count``
-        noise imaginaries — one row-major ``standard_normal`` block with
-        rows laid out that way draws the exact same stream values, and the
-        matched-filter outputs stack into one batched matvec. Falls back
-        to the serial loop when interference is enabled (each dwell then
-        consumes a data-dependent number of draws, which cannot be fused
-        without reordering the stream).
+        On the reference tier this is bit-identical to calling
+        :meth:`measure_pair` per pair in order: the serial path
+        consumes, per measurement, ``count*K`` gain reals, ``count*K``
+        gain imaginaries, ``count`` noise reals, and ``count`` noise
+        imaginaries — one row-major ``standard_normal`` block with rows
+        laid out that way draws the exact same stream values, and the
+        matched-filter outputs stack into one batched matvec. The RNG
+        draw itself always stays host-side (the stream contract is
+        backend-independent); only the matched-filter math after the
+        draw dispatches to the active backend. Falls back to the serial
+        loop when interference is enabled (each dwell then consumes a
+        data-dependent number of draws, which cannot be fused without
+        reordering the stream).
         """
         if not pairs:
             return []
@@ -194,19 +199,18 @@ class MeasurementEngine:
         block = self._rng.standard_normal((len(pairs), 2 * gain_block + 2 * count))
         gain_scale = np.sqrt(0.5)
         noise_scale = np.sqrt(self.noise_variance / 2.0)
-        gains = (
-            (gain_scale * block[:, :gain_block]).reshape(-1, count, num_subpaths)
-            + 1j
-            * (gain_scale * block[:, gain_block : 2 * gain_block]).reshape(
-                -1, count, num_subpaths
-            )
-        ) * self._channel.sqrt_powers
-        faded = np.matmul(gains, coefficients[:, :, None])[..., 0]
-        noise = noise_scale * block[
-            :, 2 * gain_block : 2 * gain_block + count
-        ] + 1j * (noise_scale * block[:, 2 * gain_block + count :])
-        samples = faded + noise
-        powers = np.mean(np.abs(samples) ** 2, axis=1)
+        backend = active_backend()
+        samples, powers = backend.fused_probe_measurements(
+            block,
+            coefficients,
+            self._channel.sqrt_powers,
+            count,
+            num_subpaths,
+            gain_scale,
+            noise_scale,
+        )
+        samples = backend.to_numpy(samples)
+        powers = backend.to_numpy(powers)
         measurements = []
         for row, pair in enumerate(pairs):
             self._count += 1

@@ -63,6 +63,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.utils.serialization import to_jsonable
+from repro.xp import to_numpy
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
@@ -202,12 +203,20 @@ def _dtype_str(dtype: np.dtype) -> str:
 def _as_arrays(
     arrays: Union[np.ndarray, Mapping[str, np.ndarray]],
 ) -> List[Tuple[str, np.ndarray]]:
-    """Normalize the ``arrays`` argument to ordered (name, ndarray) pairs."""
+    """Normalize the ``arrays`` argument to ordered (name, ndarray) pairs.
+
+    Values route through :func:`repro.xp.to_numpy` — the host-array
+    boundary of the backend dispatch layer — so stage digests are always
+    computed on host ndarrays no matter which array-backend tier
+    produced the values. ``to_numpy`` returns host ndarrays untouched
+    (an exact-type fast path), so the digest hot path pays nothing on
+    the reference tiers.
+    """
     # Exact-type check first: abc.Mapping isinstance costs ~3us a call
     # and every caller on the trial hot path passes a plain dict.
     if type(arrays) is dict or isinstance(arrays, Mapping):
-        return [(str(name), np.asarray(value)) for name, value in arrays.items()]
-    return [("value", np.asarray(arrays))]
+        return [(str(name), to_numpy(value)) for name, value in arrays.items()]
+    return [("value", to_numpy(arrays))]
 
 
 def _digest_named(

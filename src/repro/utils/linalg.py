@@ -14,6 +14,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.xp import active_backend
 
 __all__ = [
     "hermitian",
@@ -146,8 +147,7 @@ def quadratic_forms(matrix: np.ndarray, vectors: np.ndarray) -> np.ndarray:
         raise ValidationError(
             f"dimension mismatch: matrix is {matrix.shape}, vectors are {vectors.shape}"
         )
-    products = matrix @ vectors
-    return np.real(np.einsum("nk,nk->k", vectors.conj(), products))
+    return active_backend().quadratic_forms(matrix, vectors)
 
 
 def db_to_linear(decibels: float) -> float:

@@ -1,0 +1,303 @@
+"""Array-backend interface and the bit-exact NumPy reference tier.
+
+:class:`ArrayBackend` plays two roles. It is the *interface* every
+backend implements — an array namespace plus the handful of hot kernels
+the batched engine dispatches (stacked eigh prox, einsum NLL, GEMM
+adjoint, stacked SVD shrinkage, entrywise soft-threshold, fused probe
+measurements, steering phase ramps, codebook quadratic forms), with
+``asarray``/``to_numpy`` conversion boundaries, device/dtype policy, and
+runtime capability probes. And it is the *reference implementation*: the
+method bodies here are the exact stacked-NumPy formulations the kernels
+used before the dispatch layer existed, so the ``numpy`` tier is
+bit-identical to the pre-refactor engine by construction (pinned by the
+``tests/test_batch_engine.py`` determinism suite and the PR 6
+checkpoint-digest tests).
+
+Accelerated tiers subclass this and override only the kernels they
+speed up (see :mod:`repro.xp.numba_backend`); anything not overridden
+falls through to the reference formulation. Tiers advertise their
+equivalence contract through :attr:`ArrayBackend.exact` — ``True``
+means bit-identical to the reference, ``False`` means numerically
+equivalent and gated by the statistical golden gate
+(``benchmarks/check_stats.py``) instead of bitwise comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayBackend", "EIGH_LOWER_GUFUNC", "USE_BACKEND_DEFAULT"]
+
+try:  # numpy-internal eigh gufunc; callers keep the public fallback
+    from numpy.linalg import _umath_linalg as _umath
+
+    EIGH_LOWER_GUFUNC: Optional[Any] = _umath.eigh_lo
+except (ImportError, AttributeError):  # pragma: no cover - numpy internals moved
+    EIGH_LOWER_GUFUNC = None
+
+
+class _UseBackendDefault:
+    """Sentinel: let the backend pick its own decomposition routine."""
+
+    def __repr__(self) -> str:  # pragma: no cover - repr only
+        return "USE_BACKEND_DEFAULT"
+
+
+#: Passed for ``eigh_gufunc`` to mean "use the backend's own probe result"
+#: (as opposed to ``None``, which explicitly forces the public fallback).
+USE_BACKEND_DEFAULT = _UseBackendDefault()
+
+
+class ArrayBackend:
+    """Dispatchable array backend; this base class *is* the numpy tier.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"numpy"``, ``"numba"``, ...).
+    tier:
+        ``"reference"`` or ``"accelerated"`` — recorded in shard
+        provenance and benchmark payloads.
+    exact:
+        ``True`` when every kernel is bit-identical to the reference
+        formulation. Non-exact tiers are validated statistically.
+    device:
+        Where this backend's arrays live (``"cpu"`` for both shipped
+        tiers; a CuPy backend would report ``"cuda"``).
+    """
+
+    name = "numpy"
+    tier = "reference"
+    exact = True
+    device = "cpu"
+    default_float = np.dtype(np.float64)
+    default_complex = np.dtype(np.complex128)
+
+    def __init__(self) -> None:
+        #: The array namespace kernels compute in. CPU tiers share
+        #: NumPy; a device backend would expose its own module here.
+        self.np = np
+        self._capabilities: Optional[FrozenSet[str]] = None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} tier={self.tier!r}>"
+
+    # ------------------------------------------------------------------
+    # Conversion boundaries
+    # ------------------------------------------------------------------
+    def asarray(self, value: Any, dtype: Any = None) -> Any:
+        """Move ``value`` into this backend's namespace (no-op on CPU)."""
+        return np.asarray(value, dtype=dtype)
+
+    def to_numpy(self, value: Any) -> np.ndarray:
+        """Materialize ``value`` as a host :class:`numpy.ndarray`.
+
+        Everything that crosses a persistence or digest boundary —
+        checkpoint recorders, shard stores, trace exports — must pass
+        through here so hashes and artifacts are always computed on host
+        arrays regardless of where the kernels ran. For host-resident
+        arrays this returns the same object (``np.asarray`` on an
+        ndarray is the identity), keeping the boundary free.
+        """
+        return np.asarray(value)
+
+    # ------------------------------------------------------------------
+    # Capability probes
+    # ------------------------------------------------------------------
+    def _probe_capabilities(self) -> FrozenSet[str]:
+        """Execute tiny decompositions to learn what this tier supports."""
+        capabilities = {"cpu_arrays"}
+        smoke = np.eye(2, dtype=np.complex128)[None, :, :]
+        if EIGH_LOWER_GUFUNC is not None:
+            try:
+                EIGH_LOWER_GUFUNC(smoke, signature="D->dD")
+                capabilities.add("eigh_gufunc")
+            except Exception:  # pragma: no cover - gufunc present but broken
+                pass
+        try:
+            np.linalg.eigh(smoke)
+            capabilities.add("eigh_stack")
+        except Exception:  # pragma: no cover - defensive
+            pass
+        try:
+            np.linalg.svd(smoke, full_matrices=False)
+            capabilities.add("svd_gufunc")
+        except Exception:  # pragma: no cover - defensive
+            pass
+        return frozenset(capabilities)
+
+    @property
+    def capabilities(self) -> FrozenSet[str]:
+        """Probed capability set (cached after the first query)."""
+        if self._capabilities is None:
+            self._capabilities = self._probe_capabilities()
+        return self._capabilities
+
+    def supports(self, capability: str) -> bool:
+        """Whether this backend passed the probe for ``capability``."""
+        return capability in self.capabilities
+
+    # ------------------------------------------------------------------
+    # Decompositions
+    # ------------------------------------------------------------------
+    def eigh_stack(
+        self,
+        matrices: np.ndarray,
+        eigh_gufunc: Any = USE_BACKEND_DEFAULT,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Eigendecomposition of a Hermitian ``(B, N, N)`` stack.
+
+        ``eigh_gufunc`` lets callers pin the exact routine (the batched
+        estimation module exposes its gufunc handle so tests can force
+        the public fallback); the default uses this backend's probe.
+        """
+        if eigh_gufunc is USE_BACKEND_DEFAULT:
+            eigh_gufunc = EIGH_LOWER_GUFUNC if self.supports("eigh_gufunc") else None
+        if eigh_gufunc is not None and matrices.dtype == np.complex128:
+            return eigh_gufunc(matrices, signature="D->dD")
+        return np.linalg.eigh(matrices)
+
+    def svd_stack(
+        self, matrices: np.ndarray, full_matrices: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Singular value decomposition of a ``(B, n1, n2)`` stack."""
+        return np.linalg.svd(matrices, full_matrices=full_matrices)
+
+    # ------------------------------------------------------------------
+    # Estimation kernels (stacked prox / NLL / adjoint)
+    # ------------------------------------------------------------------
+    def soft_threshold_eigenvalues_batch(
+        self,
+        matrices: np.ndarray,
+        thresholds: np.ndarray,
+        eigh_gufunc: Any = USE_BACKEND_DEFAULT,
+    ) -> np.ndarray:
+        """Stacked eigenvalue soft-threshold prox over ``(B, N, N)``."""
+        values, vectors = self.eigh_stack(matrices, eigh_gufunc=eigh_gufunc)
+        shifted = values - (thresholds[:, None] if thresholds.ndim else thresholds)
+        shrunk = np.clip(shifted, 0.0, None)
+        return np.matmul(
+            vectors * shrunk[:, None, :], np.conj(vectors.transpose(0, 2, 1))
+        )
+
+    def batch_quadratic_forms(
+        self, probes_conj: np.ndarray, matrices: np.ndarray, probes: np.ndarray
+    ) -> np.ndarray:
+        """Stacked quadratic forms ``[Re(v_j^H Q_b v_j)]_{b,j}``."""
+        return np.real(np.einsum("bnm,bnk,bkm->bm", probes_conj, matrices, probes))
+
+    def nll_terms(
+        self, lambdas: np.ndarray, powers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-problem NLL values and gradient weights from ``lambda``s."""
+        values = np.sum(np.log(lambdas) + powers / lambdas, axis=1)
+        weights = 1.0 / lambdas - powers / lambdas**2
+        return values, weights
+
+    def batch_adjoint(
+        self, probes: np.ndarray, probes_conj: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Stacked adjoints ``sum_j w_{b,j} v_j v_j^H`` (Hermitian part)."""
+        weighted = probes * weights[:, None, :]
+        outer = np.matmul(weighted, probes_conj.transpose(0, 2, 1))
+        return (outer + np.conj(outer.transpose(0, 2, 1))) / 2.0
+
+    # ------------------------------------------------------------------
+    # Matrix-completion kernels
+    # ------------------------------------------------------------------
+    def shrink_singular_values_batch(
+        self, matrices: np.ndarray, thresholds: np.ndarray
+    ) -> np.ndarray:
+        """Soft-threshold singular values of a validated ``(B, n1, n2)`` stack."""
+        u, s, vh = self.svd_stack(matrices, full_matrices=False)
+        s = np.clip(
+            s - (thresholds[:, None] if thresholds.ndim else thresholds), 0.0, None
+        )
+        out = np.zeros_like(matrices)
+        for index in range(matrices.shape[0]):
+            keep = s[index] > 0
+            if np.any(keep):
+                out[index] = (u[index][:, keep] * s[index][keep]) @ vh[index][keep, :]
+        return out
+
+    def soft_threshold_entries(
+        self,
+        matrix: np.ndarray,
+        threshold: float,
+        workspace: Optional[dict] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Entrywise complex soft-threshold (validated inputs).
+
+        The fused ``out=`` ufunc chain evaluates exactly the operations
+        of the plain ``np.where`` formulation, including the positive
+        zero written to sub-threshold entries; ``workspace`` float
+        scratch buffers are reused across calls so hot loops allocate
+        nothing per call.
+        """
+        if workspace is None:
+            workspace = {}
+        magnitude = workspace.get("magnitude")
+        if magnitude is None or magnitude.shape != matrix.shape:
+            magnitude = workspace["magnitude"] = np.empty(matrix.shape, dtype=float)
+            workspace["mask"] = np.empty(matrix.shape, dtype=bool)
+            workspace["scale"] = np.empty(matrix.shape, dtype=float)
+            workspace["denominator"] = np.empty(matrix.shape, dtype=float)
+        mask = workspace["mask"]
+        scale = workspace["scale"]
+        denominator = workspace["denominator"]
+        np.abs(matrix, out=magnitude)
+        np.less_equal(magnitude, threshold, out=mask)
+        np.subtract(magnitude, threshold, out=scale)
+        np.maximum(magnitude, 1e-30, out=denominator)
+        np.divide(scale, denominator, out=scale)
+        np.copyto(scale, 0.0, where=mask)
+        if out is None:
+            return matrix * scale
+        return np.multiply(matrix, scale, out=out)
+
+    # ------------------------------------------------------------------
+    # Channel / measurement kernels
+    # ------------------------------------------------------------------
+    def steering_phase_exp(self, phases: np.ndarray, scale: float) -> np.ndarray:
+        """Normalized phase ramp ``exp(1j * phases) / scale``."""
+        return np.exp(1j * phases) / scale
+
+    def fused_probe_measurements(
+        self,
+        block: np.ndarray,
+        coefficients: np.ndarray,
+        sqrt_powers: np.ndarray,
+        count: int,
+        num_subpaths: int,
+        gain_scale: float,
+        noise_scale: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Matched-filter samples and power statistics for a probe batch.
+
+        ``block`` is the fused ``(P, 2*count*K + 2*count)`` standard
+        normal draw (the RNG stays host-side so the stream contract is
+        backend-independent); returns ``(samples, powers)``.
+        """
+        gain_block = count * num_subpaths
+        gains = (
+            (gain_scale * block[:, :gain_block]).reshape(-1, count, num_subpaths)
+            + 1j
+            * (gain_scale * block[:, gain_block : 2 * gain_block]).reshape(
+                -1, count, num_subpaths
+            )
+        ) * sqrt_powers
+        faded = np.matmul(gains, coefficients[:, :, None])[..., 0]
+        noise = noise_scale * block[
+            :, 2 * gain_block : 2 * gain_block + count
+        ] + 1j * (noise_scale * block[:, 2 * gain_block + count :])
+        samples = faded + noise
+        powers = np.mean(np.abs(samples) ** 2, axis=1)
+        return samples, powers
+
+    def quadratic_forms(self, matrix: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        """Real parts of ``v_k^H A v_k`` for every column of ``vectors``."""
+        products = matrix @ vectors
+        return np.real(np.einsum("nk,nk->k", vectors.conj(), products))

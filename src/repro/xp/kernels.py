@@ -1,0 +1,208 @@
+"""Loop-form kernel bodies shared by the accelerated backends.
+
+Each function here is the explicit-loop formulation of one hot kernel
+from the batched engine (see :mod:`repro.xp.backend` for the stacked
+NumPy reference formulations). They are written in the restricted
+Python/NumPy subset that ``numba.njit`` compiles — scalar math, plain
+indexing, ``prange`` over the batch axis — and they import cleanly
+*without* numba (``prange`` degrades to ``range``), so their numerics
+are testable on any machine.
+
+:mod:`repro.xp.numba_backend` compiles these bodies with
+``numba.njit(parallel=True)``; a backend registered later (CuPy, JAX)
+would ignore this module and supply device formulations instead.
+
+Equivalence contract: loop order follows the reference formulation, but
+compiled reductions may reassociate, so results are *numerically
+equivalent* (ULP-level), not bitwise — which is exactly why the
+accelerated tier is gated by the statistical golden gate rather than
+the bit-identity suite (see docs/performance.md, "Backend tiers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import prange
+except ImportError:  # plain-Python fallback keeps the bodies importable
+    prange = range
+
+__all__ = [
+    "nll_terms_loops",
+    "batch_adjoint_loops",
+    "batch_quadratic_forms_loops",
+    "eig_reconstruct_loops",
+    "svd_reconstruct_loops",
+    "soft_threshold_entries_loops",
+    "steering_phase_exp_loops",
+    "fused_probe_loops",
+    "quadratic_forms_loops",
+]
+
+
+def nll_terms_loops(lambdas, powers):
+    """Per-problem NLL values and gradient weights from expected powers.
+
+    ``lambdas``/``powers`` are ``(B, M)`` float64; returns ``(values,
+    weights)`` with ``values[b] = sum_m log(lam) + p/lam`` and
+    ``weights[b, m] = 1/lam - p/lam^2``.
+    """
+    batch, measurements = lambdas.shape
+    values = np.empty(batch, dtype=np.float64)
+    weights = np.empty((batch, measurements), dtype=np.float64)
+    for b in prange(batch):
+        total = 0.0
+        for m in range(measurements):
+            lam = lambdas[b, m]
+            power = powers[b, m]
+            total += np.log(lam) + power / lam
+            weights[b, m] = 1.0 / lam - power / (lam * lam)
+        values[b] = total
+    return values, weights
+
+
+def batch_adjoint_loops(probes, probes_conj, weights):
+    """Hermitian part of ``sum_j w_{b,j} v_j v_j^H`` per problem."""
+    batch, dimension, measurements = probes.shape
+    out = np.empty((batch, dimension, dimension), dtype=np.complex128)
+    for b in prange(batch):
+        for i in range(dimension):
+            for j in range(dimension):
+                acc = 0.0 + 0.0j
+                for m in range(measurements):
+                    acc += weights[b, m] * probes[b, i, m] * probes_conj[b, j, m]
+                out[b, i, j] = acc
+        for i in range(dimension):
+            for j in range(i, dimension):
+                value = (out[b, i, j] + np.conj(out[b, j, i])) / 2.0
+                out[b, i, j] = value
+                out[b, j, i] = np.conj(value)
+    return out
+
+
+def batch_quadratic_forms_loops(probes_conj, matrices, probes):
+    """``Re(v_j^H Q_b v_j)`` for every problem ``b`` and probe ``j``."""
+    batch, dimension, measurements = probes.shape
+    out = np.empty((batch, measurements), dtype=np.float64)
+    for b in prange(batch):
+        for m in range(measurements):
+            acc = 0.0 + 0.0j
+            for i in range(dimension):
+                row = 0.0 + 0.0j
+                for k in range(dimension):
+                    row += matrices[b, i, k] * probes[b, k, m]
+                acc += probes_conj[b, i, m] * row
+            out[b, m] = acc.real
+    return out
+
+
+def eig_reconstruct_loops(vectors, shrunk):
+    """``V diag(s) V^H`` per slice — the prox reconstruction GEMM."""
+    batch, dimension, _ = vectors.shape
+    out = np.empty((batch, dimension, dimension), dtype=np.complex128)
+    for b in prange(batch):
+        for i in range(dimension):
+            for j in range(dimension):
+                acc = 0.0 + 0.0j
+                for k in range(dimension):
+                    acc += vectors[b, i, k] * shrunk[b, k] * np.conj(vectors[b, j, k])
+                out[b, i, j] = acc
+    return out
+
+
+def svd_reconstruct_loops(u, s, vh, out):
+    """Rank-truncated ``U diag(s) Vh`` per slice into a zeroed ``out``.
+
+    ``s`` is already soft-thresholded; zero singular values contribute
+    nothing, so summing over all of them equals the ``keep``-masked
+    reference reconstruction.
+    """
+    batch, rows, rank = u.shape
+    cols = vh.shape[2]
+    for b in prange(batch):
+        for i in range(rows):
+            for j in range(cols):
+                acc = out[b, i, j] - out[b, i, j]  # typed zero of out's dtype
+                for k in range(rank):
+                    if s[b, k] > 0.0:
+                        acc += u[b, i, k] * s[b, k] * vh[b, k, j]
+                out[b, i, j] = acc
+    return out
+
+
+def soft_threshold_entries_loops(matrix, threshold, out):
+    """Entrywise complex soft-threshold (prox of the l1 norm) into ``out``."""
+    rows, cols = matrix.shape
+    for i in prange(rows):
+        for j in range(cols):
+            value = matrix[i, j]
+            magnitude = abs(value)
+            if magnitude <= threshold:
+                out[i, j] = 0.0
+            else:
+                out[i, j] = value * (
+                    (magnitude - threshold) / max(magnitude, 1e-30)
+                )
+    return out
+
+
+def steering_phase_exp_loops(phases, scale):
+    """``exp(1j * phases) / scale`` — steering-matrix phase ramp."""
+    rows, cols = phases.shape
+    out = np.empty((rows, cols), dtype=np.complex128)
+    for i in prange(rows):
+        for j in range(cols):
+            phase = phases[i, j]
+            out[i, j] = (np.cos(phase) + 1j * np.sin(phase)) / scale
+    return out
+
+
+def fused_probe_loops(
+    block, coefficients, sqrt_powers, count, num_subpaths, gain_scale, noise_scale
+):
+    """A probe batch's matched-filter samples and power statistics.
+
+    ``block`` is the fused ``(P, 2*count*K + 2*count)`` standard-normal
+    draw (gain reals, gain imaginaries, noise reals, noise imaginaries
+    per row); returns ``(samples, powers)`` of shapes ``(P, count)`` and
+    ``(P,)``.
+    """
+    pairs = block.shape[0]
+    gain_block = count * num_subpaths
+    samples = np.empty((pairs, count), dtype=np.complex128)
+    powers = np.empty(pairs, dtype=np.float64)
+    for p in prange(pairs):
+        total = 0.0
+        for c in range(count):
+            faded = 0.0 + 0.0j
+            for k in range(num_subpaths):
+                offset = c * num_subpaths + k
+                gain = (
+                    gain_scale * block[p, offset]
+                    + 1j * gain_scale * block[p, gain_block + offset]
+                ) * sqrt_powers[k]
+                faded += gain * coefficients[p, k]
+            noise = noise_scale * block[p, 2 * gain_block + c] + 1j * (
+                noise_scale * block[p, 2 * gain_block + count + c]
+            )
+            sample = faded + noise
+            samples[p, c] = sample
+            total += sample.real * sample.real + sample.imag * sample.imag
+        powers[p] = total / count
+    return samples, powers
+
+
+def quadratic_forms_loops(matrix, vectors):
+    """``Re(v_k^H A v_k)`` for every column of ``vectors``."""
+    dimension, columns = vectors.shape
+    out = np.empty(columns, dtype=np.float64)
+    for k in prange(columns):
+        acc = 0.0 + 0.0j
+        for i in range(dimension):
+            row = 0.0 + 0.0j
+            for j in range(dimension):
+                row += matrix[i, j] * vectors[j, k]
+            acc += np.conj(vectors[i, k]) * row
+        out[k] = acc.real
+    return out

@@ -1,0 +1,254 @@
+"""Numba-JIT accelerated backend tier.
+
+Compiles the loop-form kernel bodies of :mod:`repro.xp.kernels` with
+``numba.njit(parallel=True)`` and serves them through the
+:class:`~repro.xp.backend.ArrayBackend` interface. LAPACK-bound
+decompositions (eigh, SVD) stay on NumPy's gufuncs — numba brings
+nothing there — while the reconstruction GEMMs, einsum NLL, adjoint
+accumulations, entrywise prox, fused probe math, and phase ramps run as
+parallel compiled loops.
+
+Importing this module without numba installed raises
+:class:`~repro.xp.registry.BackendUnavailableError`; the registry turns
+that into a fallback-with-warning to the reference tier.
+
+Robustness: compilation happens lazily on first call per kernel. Any
+numba failure (typing, threading layer, runtime) disables that one
+kernel for the backend's lifetime and re-routes it to the inherited
+reference formulation with a warning — a single kernel that will not
+compile on some platform degrades performance, never correctness.
+
+Equivalence contract: ``exact = False``. Compiled reductions
+reassociate floating-point sums, so this tier is validated by the
+statistical golden gate (``benchmarks/check_stats.py``), not by the
+bitwise determinism suite.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.xp import kernels
+from repro.xp.backend import USE_BACKEND_DEFAULT, ArrayBackend
+from repro.xp.registry import BackendFallbackWarning, BackendUnavailableError
+
+try:
+    from numba import njit
+except ImportError as _error:  # pragma: no cover - exercised in the CI fallback leg
+    raise BackendUnavailableError(
+        "the 'numba' package is not installed (pip install 'repro[accel]')"
+    ) from _error
+
+__all__ = ["NumbaBackend"]
+
+_JIT_OPTIONS = {"parallel": True, "fastmath": False, "cache": False}
+
+_nll_terms = njit(**_JIT_OPTIONS)(kernels.nll_terms_loops)
+_batch_adjoint = njit(**_JIT_OPTIONS)(kernels.batch_adjoint_loops)
+_batch_quadratic_forms = njit(**_JIT_OPTIONS)(kernels.batch_quadratic_forms_loops)
+_eig_reconstruct = njit(**_JIT_OPTIONS)(kernels.eig_reconstruct_loops)
+_svd_reconstruct = njit(**_JIT_OPTIONS)(kernels.svd_reconstruct_loops)
+_soft_threshold_entries = njit(**_JIT_OPTIONS)(kernels.soft_threshold_entries_loops)
+_steering_phase_exp = njit(**_JIT_OPTIONS)(kernels.steering_phase_exp_loops)
+_fused_probe = njit(**_JIT_OPTIONS)(kernels.fused_probe_loops)
+_quadratic_forms = njit(**_JIT_OPTIONS)(kernels.quadratic_forms_loops)
+
+
+def _c(array: np.ndarray, dtype: Any = None) -> np.ndarray:
+    """C-contiguous view/copy with an optional dtype cast for the JIT."""
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
+class NumbaBackend(ArrayBackend):
+    """Accelerated tier: JIT-compiled batch kernels, LAPACK decompositions."""
+
+    name = "numba"
+    tier = "accelerated"
+    exact = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._disabled: Set[str] = set()
+
+    def _probe_capabilities(self):
+        return frozenset(super()._probe_capabilities() | {"jit"})
+
+    def _run(
+        self,
+        kernel: str,
+        jitted: Callable[..., Any],
+        reference: Callable[..., Any],
+        *args: Any,
+    ) -> Any:
+        """Run a JIT kernel with a one-way per-kernel reference fallback."""
+        if kernel in self._disabled:
+            return reference(*args)
+        try:
+            return jitted(*args)
+        except Exception as error:  # numba typing/threading/runtime failures
+            self._disabled.add(kernel)
+            warnings.warn(
+                f"numba kernel {kernel!r} failed ({type(error).__name__}: {error}); "
+                "using the reference formulation for the rest of this run",
+                BackendFallbackWarning,
+                stacklevel=3,
+            )
+            return reference(*args)
+
+    # ------------------------------------------------------------------
+    # Estimation kernels
+    # ------------------------------------------------------------------
+    def soft_threshold_eigenvalues_batch(
+        self,
+        matrices: np.ndarray,
+        thresholds: np.ndarray,
+        eigh_gufunc: Any = USE_BACKEND_DEFAULT,
+    ) -> np.ndarray:
+        if matrices.dtype != np.complex128:
+            return super().soft_threshold_eigenvalues_batch(
+                matrices, thresholds, eigh_gufunc=eigh_gufunc
+            )
+        values, vectors = self.eigh_stack(matrices, eigh_gufunc=eigh_gufunc)
+        shifted = values - (thresholds[:, None] if thresholds.ndim else thresholds)
+        shrunk = np.clip(shifted, 0.0, None)
+        return self._run(
+            "eig_reconstruct",
+            _eig_reconstruct,
+            kernels.eig_reconstruct_loops,
+            _c(vectors),
+            _c(shrunk, np.float64),
+        )
+
+    def batch_quadratic_forms(
+        self, probes_conj: np.ndarray, matrices: np.ndarray, probes: np.ndarray
+    ) -> np.ndarray:
+        if probes.dtype != np.complex128 or matrices.dtype != np.complex128:
+            return super().batch_quadratic_forms(probes_conj, matrices, probes)
+        return self._run(
+            "batch_quadratic_forms",
+            _batch_quadratic_forms,
+            kernels.batch_quadratic_forms_loops,
+            _c(probes_conj),
+            _c(matrices),
+            _c(probes),
+        )
+
+    def nll_terms(
+        self, lambdas: np.ndarray, powers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if lambdas.ndim != 2:
+            return super().nll_terms(lambdas, powers)
+        return self._run(
+            "nll_terms",
+            _nll_terms,
+            kernels.nll_terms_loops,
+            _c(lambdas, np.float64),
+            _c(powers, np.float64),
+        )
+
+    def batch_adjoint(
+        self, probes: np.ndarray, probes_conj: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        if probes.dtype != np.complex128:
+            return super().batch_adjoint(probes, probes_conj, weights)
+        return self._run(
+            "batch_adjoint",
+            _batch_adjoint,
+            kernels.batch_adjoint_loops,
+            _c(probes),
+            _c(probes_conj),
+            _c(weights, np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # Matrix-completion kernels
+    # ------------------------------------------------------------------
+    def shrink_singular_values_batch(
+        self, matrices: np.ndarray, thresholds: np.ndarray
+    ) -> np.ndarray:
+        u, s, vh = self.svd_stack(matrices, full_matrices=False)
+        s = np.clip(
+            s - (thresholds[:, None] if thresholds.ndim else thresholds), 0.0, None
+        )
+        if matrices.dtype not in (np.complex128, np.float64):
+            return super().shrink_singular_values_batch(matrices, thresholds)
+        out = np.zeros_like(matrices)
+        return self._run(
+            "svd_reconstruct",
+            _svd_reconstruct,
+            kernels.svd_reconstruct_loops,
+            _c(u),
+            _c(s, np.float64),
+            _c(vh),
+            out,
+        )
+
+    def soft_threshold_entries(
+        self,
+        matrix: np.ndarray,
+        threshold: float,
+        workspace: Optional[dict] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if matrix.ndim != 2 or matrix.dtype not in (np.complex128, np.float64):
+            return super().soft_threshold_entries(matrix, threshold, workspace, out)
+        target = out if out is not None else np.empty_like(matrix)
+        return self._run(
+            "soft_threshold_entries",
+            _soft_threshold_entries,
+            kernels.soft_threshold_entries_loops,
+            _c(matrix),
+            float(threshold),
+            target,
+        )
+
+    # ------------------------------------------------------------------
+    # Channel / measurement kernels
+    # ------------------------------------------------------------------
+    def steering_phase_exp(self, phases: np.ndarray, scale: float) -> np.ndarray:
+        if phases.ndim != 2:
+            return super().steering_phase_exp(phases, scale)
+        return self._run(
+            "steering_phase_exp",
+            _steering_phase_exp,
+            kernels.steering_phase_exp_loops,
+            _c(phases, np.float64),
+            float(scale),
+        )
+
+    def fused_probe_measurements(
+        self,
+        block: np.ndarray,
+        coefficients: np.ndarray,
+        sqrt_powers: np.ndarray,
+        count: int,
+        num_subpaths: int,
+        gain_scale: float,
+        noise_scale: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self._run(
+            "fused_probe",
+            _fused_probe,
+            kernels.fused_probe_loops,
+            _c(block, np.float64),
+            _c(coefficients, np.complex128),
+            _c(sqrt_powers, np.float64),
+            int(count),
+            int(num_subpaths),
+            float(gain_scale),
+            float(noise_scale),
+        )
+
+    def quadratic_forms(self, matrix: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+        if matrix.dtype != np.complex128 or vectors.dtype != np.complex128:
+            return super().quadratic_forms(matrix, vectors)
+        return self._run(
+            "quadratic_forms",
+            _quadratic_forms,
+            kernels.quadratic_forms_loops,
+            _c(matrix),
+            _c(vectors),
+        )

@@ -1,0 +1,208 @@
+"""Backend registry: named tiers, env/flag resolution, active scope.
+
+The registry maps backend names to lazily constructed
+:class:`~repro.xp.backend.ArrayBackend` instances and owns the three
+selection mechanisms, in precedence order:
+
+1. an explicit :func:`use_backend` scope (what ``--backend`` and the
+   ``backend=`` parameters of the batched runners enter);
+2. the ``REPRO_BACKEND`` environment variable (inherited by
+   ``ProcessPoolExecutor`` workers, so campaigns stay consistent
+   across process boundaries);
+3. the default ``numpy`` reference tier.
+
+Resolution is *fallback-safe by default*: asking for a registered tier
+whose package is missing (e.g. ``numba`` on a machine without numba)
+emits a :class:`BackendFallbackWarning` and returns the reference tier
+instead of failing the run — campaigns degrade to correct-but-slower,
+never to dead. Unknown names are a hard
+:class:`~repro.exceptions.ConfigurationError` either way, since a typo
+should never silently run on a different tier.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import logging
+import os
+import warnings
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.xp.backend import ArrayBackend
+
+__all__ = [
+    "BackendUnavailableError",
+    "BackendFallbackWarning",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "register_backend",
+    "registered_backends",
+    "available_backends",
+    "resolve_backend",
+    "active_backend",
+    "use_backend",
+    "to_numpy",
+]
+
+logger = logging.getLogger("repro.xp")
+
+ENV_VAR = "REPRO_BACKEND"
+DEFAULT_BACKEND = "numpy"
+
+
+class BackendUnavailableError(ImportError):
+    """A registered backend cannot run here (its package is missing)."""
+
+
+class BackendFallbackWarning(UserWarning):
+    """A requested backend was unavailable; the reference tier ran instead."""
+
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+_ACTIVE: contextvars.ContextVar[Optional[ArrayBackend]] = contextvars.ContextVar(
+    "repro_xp_active_backend", default=None
+)
+
+
+def register_backend(
+    name: str, factory: Callable[[], ArrayBackend], replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name``.
+
+    The factory runs on first resolution; it must raise
+    :class:`BackendUnavailableError` when its dependencies are absent so
+    resolution can fall back cleanly. Registering an already-known name
+    requires ``replace=True`` (guards against accidental shadowing of
+    the shipped tiers).
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("backend name must be non-empty")
+    if key in _FACTORIES and not replace:
+        raise ConfigurationError(
+            f"backend {key!r} is already registered; pass replace=True to override"
+        )
+    _FACTORIES[key] = factory
+    _INSTANCES.pop(key, None)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def available_backends() -> Dict[str, bool]:
+    """Map of registered backend name to "can it run here?"."""
+    availability: Dict[str, bool] = {}
+    for name in registered_backends():
+        try:
+            _instantiate(name)
+            availability[name] = True
+        except BackendUnavailableError:
+            availability[name] = False
+    return availability
+
+
+def _instantiate(name: str) -> ArrayBackend:
+    """Build (or fetch the cached) backend instance for ``name``."""
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _FACTORIES[name]()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def resolve_backend(
+    name: Optional[str] = None, fallback: bool = True
+) -> ArrayBackend:
+    """Resolve a backend name to a live instance.
+
+    ``name=None`` reads ``REPRO_BACKEND`` (default ``numpy``). Unknown
+    names raise :class:`~repro.exceptions.ConfigurationError` listing
+    the registered tiers. A known-but-unavailable tier falls back to
+    the reference tier with a :class:`BackendFallbackWarning` when
+    ``fallback`` is true, and re-raises
+    :class:`BackendUnavailableError` otherwise.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(registered_backends())}"
+        )
+    try:
+        return _instantiate(key)
+    except BackendUnavailableError as error:
+        if not fallback or key == DEFAULT_BACKEND:
+            raise
+        message = (
+            f"backend {key!r} is unavailable ({error}); "
+            f"falling back to the {DEFAULT_BACKEND!r} reference tier"
+        )
+        warnings.warn(message, BackendFallbackWarning, stacklevel=2)
+        logger.warning(message)
+        return _instantiate(DEFAULT_BACKEND)
+
+
+def active_backend() -> ArrayBackend:
+    """The backend in effect: innermost :func:`use_backend` scope or env."""
+    backend = _ACTIVE.get()
+    if backend is not None:
+        return backend
+    return resolve_backend(None)
+
+
+@contextlib.contextmanager
+def use_backend(
+    backend: Optional[Any] = None, fallback: bool = True
+) -> Iterator[ArrayBackend]:
+    """Scope under which :func:`active_backend` returns ``backend``.
+
+    Accepts a backend name, a live :class:`ArrayBackend`, or ``None``
+    (meaning "whatever the environment resolves to" — useful for
+    threading an optional ``backend=`` parameter without branching at
+    every call site). Scopes nest; the previous selection is restored
+    on exit.
+    """
+    if backend is None or isinstance(backend, ArrayBackend):
+        resolved = backend if backend is not None else active_backend()
+    else:
+        resolved = resolve_backend(str(backend), fallback=fallback)
+    token = _ACTIVE.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _ACTIVE.reset(token)
+
+
+def to_numpy(value: Any) -> np.ndarray:
+    """Host-array boundary used by digests, checkpoints, and stores.
+
+    The fast path keeps the checkpoint recorder's overhead budget: a
+    value that already is a host ndarray is returned untouched without
+    consulting the registry.
+    """
+    if type(value) is np.ndarray:
+        return value
+    return active_backend().to_numpy(value)
+
+
+def _numpy_factory() -> ArrayBackend:
+    return ArrayBackend()
+
+
+def _numba_factory() -> ArrayBackend:
+    from repro.xp.numba_backend import NumbaBackend  # deferred: needs numba
+
+    return NumbaBackend()
+
+
+register_backend("numpy", _numpy_factory)
+register_backend("numba", _numba_factory)

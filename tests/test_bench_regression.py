@@ -279,13 +279,55 @@ class TestTrajectoryArtifact:
         from benchmarks import make_trajectory
 
         entries = make_trajectory.load_bench_files(self._session(bench_dir))
-        payload = make_trajectory.build_trajectory("PR5", entries)
+        payload = make_trajectory.build_trajectory("PR5", [entries])
         assert payload["kind"] == "bench-trajectory-v1"
         assert payload["tag"] == "PR5"
         assert set(payload["entries"]) == {"alpha", "beta"}  # calibration split out
         assert payload["entries"]["alpha"]["mean_normalized"] == pytest.approx(2.0)
         assert payload["entries"]["beta"]["mean_normalized"] == pytest.approx(4.0)
         assert payload["calibration"]["mean_s"] == pytest.approx(1e-3)
+
+    def test_folds_per_backend_sessions(self, tmp_path):
+        from benchmarks import make_trajectory
+
+        sessions = []
+        for backend, scale in (("numpy", 1e-3), ("numba", 2e-3)):
+            directory = tmp_path / backend
+            directory.mkdir()
+            _write_bench(directory, "alpha", 4 * scale)
+            _write_bench(directory, "calibration", scale)
+            entries = make_trajectory.load_bench_files(directory)
+            for stats in entries.values():
+                stats["backend"] = backend
+            sessions.append(entries)
+        payload = make_trajectory.build_trajectory("PR7", sessions)
+        # Shared labels are keyed label[backend]; each session normalizes
+        # by its OWN calibration, so both tiers land on the same ratio.
+        assert set(payload["entries"]) == {"alpha[numpy]", "alpha[numba]"}
+        for key in payload["entries"]:
+            assert payload["entries"][key]["mean_normalized"] == pytest.approx(4.0)
+        assert payload["entries"]["alpha[numba]"]["backend"] == "numba"
+        assert payload["calibration"]["mean_s"] == pytest.approx(1e-3)
+
+    def test_fallback_session_keyed_by_requested_tier(self, tmp_path):
+        from benchmarks import make_trajectory
+
+        sessions = []
+        for requested in ("numpy", "numba"):
+            directory = tmp_path / requested
+            directory.mkdir()
+            _write_bench(directory, "alpha", 2e-3)
+            entries = make_trajectory.load_bench_files(directory)
+            for stats in entries.values():
+                stats["backend"] = "numpy"  # numba leg fell back
+                if requested != "numpy":
+                    stats["backend_requested"] = requested
+            sessions.append(entries)
+        payload = make_trajectory.build_trajectory("PR7", sessions)
+        assert set(payload["entries"]) == {"alpha[numpy]", "alpha[numba]"}
+        entry = payload["entries"]["alpha[numba]"]
+        assert entry["backend"] == "numpy"
+        assert entry["backend_requested"] == "numba"
 
     def test_main_writes_artifact_and_skips_itself(self, bench_dir):
         from benchmarks import make_trajectory
