@@ -27,11 +27,21 @@ Or end-to-end through the sweep adapter / CLI::
     effectiveness_sweep(scenario, specs, rates, 100, store="results/campaign")
     # repro campaign run --store results/campaign --trials 100
 
+Campaigns also execute **coordinator-free across N workers**: shards are
+claimed through atomic lease files in the store (no scheduler process),
+crashed workers' leases expire and their shards are reassigned, and the
+assembled aggregate stays byte-identical to a single-supervisor run::
+
+    launch_campaign(plan, store, num_workers=4)   # N local processes
+    # repro campaign launch --store DIR --workers 4 --trials 100
+    # repro campaign worker --store DIR           # one worker, any host
+
 See ``docs/campaigns.md`` for the shard model, store layout, resume
 semantics, and fault-injection knobs.
 """
 
 from repro.campaign.assemble import assemble_effectiveness_sweep
+from repro.campaign.distributed import LaunchReport, launch_campaign, worker_attribution
 from repro.campaign.health import (
     DEFAULT_STALL_FACTOR,
     CampaignHealth,
@@ -55,7 +65,16 @@ from repro.campaign.scheduler import (
     campaign_status,
     run_campaign,
 )
+from repro.campaign.lease import (
+    DEFAULT_LEASE_TTL_S,
+    LEASE_SCHEMA,
+    LeaseManager,
+    LeaseRecord,
+    backoff_delay,
+    lease_expired,
+)
 from repro.campaign.store import HEARTBEAT_SCHEMA, ShardStore
+from repro.campaign.worker import WorkerReport, publish_shard, run_worker
 from repro.exceptions import CampaignAborted, CampaignError, ShardExecutionError
 
 __all__ = [
@@ -82,4 +101,16 @@ __all__ = [
     "CampaignAborted",
     "CampaignError",
     "ShardExecutionError",
+    "DEFAULT_LEASE_TTL_S",
+    "LEASE_SCHEMA",
+    "LeaseManager",
+    "LeaseRecord",
+    "backoff_delay",
+    "lease_expired",
+    "WorkerReport",
+    "publish_shard",
+    "run_worker",
+    "LaunchReport",
+    "launch_campaign",
+    "worker_attribution",
 ]

@@ -13,7 +13,11 @@ Per-shard states:
   has landed yet;
 * ``stalled`` — heartbeat-silent: a running/retrying shard whose last
   heartbeat is older than ``stall_factor`` x the median completed-shard
-  duration (with a floor, so short campaigns do not flap);
+  duration (with a floor, so short campaigns do not flap) — **or**
+  lease-dead: the shard's claim file exists but its lease has expired
+  (TTL elapsed, or the owning pid died on this host), which flags a
+  crashed worker's shards immediately instead of after the heartbeat
+  threshold;
 * ``failed`` — the artifact is corrupt, or the heartbeat reports a
   permanent failure;
 * ``pending`` — nothing has touched the shard yet.
@@ -30,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.campaign.lease import LeaseRecord, lease_expired
 from repro.campaign.plan import CampaignPlan
 from repro.campaign.store import ShardStore
 from repro.obs.metrics import percentile
@@ -66,6 +71,12 @@ class ShardHealth:
     age_s: Optional[float] = None  # seconds since the last heartbeat
     duration_s: Optional[float] = None  # completed shards only
     error: Optional[str] = None
+    #: worker that produced the last heartbeat (lease owner as fallback)
+    worker: Optional[str] = None
+    #: current lease claim, when one exists
+    lease_owner: Optional[str] = None
+    lease_age_s: Optional[float] = None  # seconds since the last renewal
+    lease_expired: Optional[bool] = None
 
     def to_payload(self) -> Dict[str, Any]:
         return {
@@ -79,6 +90,10 @@ class ShardHealth:
             "age_s": self.age_s,
             "duration_s": self.duration_s,
             "error": self.error,
+            "worker": self.worker,
+            "lease_owner": self.lease_owner,
+            "lease_age_s": self.lease_age_s,
+            "lease_expired": self.lease_expired,
         }
 
 
@@ -158,6 +173,11 @@ def campaign_health(
     """
     now = time.time() if now_unix_s is None else now_unix_s
     heartbeats = store.read_heartbeats(plan.digest)
+    claims = {
+        digest: record
+        for digest, payload in store.read_claims(plan.digest).items()
+        if (record := LeaseRecord.from_payload(payload)) is not None
+    }
     median_s = _median_done_duration(heartbeats)
     stall_threshold_s = max(
         MIN_STALL_SECONDS, stall_factor * median_s if median_s else MIN_STALL_SECONDS
@@ -178,6 +198,14 @@ def campaign_health(
             else None
         )
         error = beat.get("error") if beat else None
+        claim = claims.get(digest)
+        claim_expired = lease_expired(claim, now) if claim is not None else None
+        claim_age_s = (
+            max(0.0, now - claim.renewed_unix_s) if claim is not None else None
+        )
+        worker = beat.get("worker") if beat else None
+        if not isinstance(worker, str):
+            worker = claim.owner if claim is not None else None
 
         if verdict == "done":
             state = "done"
@@ -190,7 +218,14 @@ def campaign_health(
             if status == "failed":
                 state = "failed"
             elif status in ("running", "retrying"):
-                state = "stalled" if age_s is not None and age_s > stall_threshold_s else status
+                # Heartbeat-silent OR lease-dead: an expired claim means
+                # the owning worker stopped renewing (crash/SIGKILL), so
+                # the shard is reassignable *now* — flag it without
+                # waiting out the heartbeat threshold.
+                stalled = (age_s is not None and age_s > stall_threshold_s) or (
+                    claim_expired is True
+                )
+                state = "stalled" if stalled else status
             elif status == "done":
                 # Heartbeat says done but the artifact is gone (gc'd or
                 # lost): the shard must re-run.
@@ -209,6 +244,10 @@ def campaign_health(
                 age_s=age_s,
                 duration_s=duration_s,
                 error=error if isinstance(error, str) else None,
+                worker=worker,
+                lease_owner=claim.owner if claim is not None else None,
+                lease_age_s=claim_age_s,
+                lease_expired=claim_expired,
             )
         )
 
@@ -264,13 +303,21 @@ def render_campaign_health(health: CampaignHealth, title: str = "") -> str:
         lines.append("")
         lines.append(
             f"{'shard':>5s} {'rate':>6s} {'trials':>11s} {'state':>9s}"
-            f" {'attempt':>7s} {'beat age':>9s}"
+            f" {'attempt':>7s} {'beat age':>9s} {'worker':>12s} {'lease':>9s}"
         )
         for shard in attention:
             trials = f"[{shard.trial_start},{shard.trial_start + shard.trial_count})"
+            worker = (shard.worker or "-")[:12]
+            if shard.lease_owner is None:
+                lease = "-"
+            elif shard.lease_expired:
+                lease = "expired"
+            else:
+                lease = _format_age(shard.lease_age_s)
             lines.append(
                 f"{shard.index:5d} {shard.search_rate:6.2f} {trials:>11s}"
                 f" {shard.state:>9s} {shard.attempt:7d} {_format_age(shard.age_s):>9s}"
+                f" {worker:>12s} {lease:>9s}"
             )
     if health.complete:
         lines.append("campaign complete")

@@ -18,10 +18,19 @@ to completion against a :class:`~repro.campaign.store.ShardStore`:
 Because shard seeds come from ``trial_generator(base_seed, k)``, every
 retry/fallback path produces bit-identical results, so a resumed
 campaign's aggregate equals an uninterrupted run's byte-for-byte.
+
+The supervisor is one participant in the store's lease protocol (see
+:mod:`repro.campaign.lease` and :mod:`repro.campaign.worker`): it claims
+each shard before executing, defers shards other workers hold, and
+publishes through the zombie guard — so a supervisor and any number of
+``repro campaign worker`` processes can share one store safely. For a
+fully coordinator-free N-process mode see
+:func:`repro.campaign.distributed.launch_campaign`.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -29,12 +38,21 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.campaign.lease import DEFAULT_LEASE_TTL_S, LeaseManager, backoff_delay
 from repro.campaign.plan import CampaignPlan, ShardSpec
 from repro.campaign.store import ShardStore
+# _shard_losses/_corrupt_artifact are re-exported: they lived here before
+# moving to the shared worker module, and tests import them from here.
+from repro.campaign.worker import (  # noqa: F401
+    _corrupt_artifact,
+    _shard_losses,
+    execute_shard_in_process,
+    publish_shard,
+)
 from repro.exceptions import CampaignAborted, ConfigurationError, ShardExecutionError
 from repro.obs import ProgressCallback, ProgressReporter, get_logger, get_recorder
 from repro.obs.checkpoint import CheckpointSpec, find_checkpointer
-from repro.sim.parallel import ParallelOutcome, _run_trial_batch, _worker_init
+from repro.sim.parallel import _run_trial_batch, _worker_init
 from repro.xp import active_backend, resolve_backend
 
 __all__ = [
@@ -128,6 +146,9 @@ class CampaignReport:
     retries: int
     fallbacks: int
     failed_digests: Tuple[str, ...] = ()
+    #: shards another worker's lease blocked at first encounter (resolved
+    #: later by foreign completion or local takeover)
+    deferred: int = 0
 
 
 def campaign_status(plan: CampaignPlan, store: ShardStore) -> CampaignStatus:
@@ -151,23 +172,6 @@ def campaign_status(plan: CampaignPlan, store: ShardStore) -> CampaignStatus:
     )
 
 
-def _shard_losses(
-    outcomes: List[Dict[str, ParallelOutcome]], shard: ShardSpec
-) -> Dict[str, List[float]]:
-    """Collapse a shard's trial outcomes into per-scheme loss series."""
-    return {
-        name: [trial[name].loss_db for trial in outcomes]
-        for name in shard.scheme_names()
-    }
-
-
-def _corrupt_artifact(store: ShardStore, shard: ShardSpec) -> None:
-    """Truncate a freshly-written artifact (fault-injection only)."""
-    path = store.shard_path(shard.digest)
-    text = path.read_text(encoding="utf-8")
-    path.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
-
-
 def run_campaign(
     plan: CampaignPlan,
     store: ShardStore,
@@ -181,6 +185,8 @@ def run_campaign(
     heartbeats: bool = True,
     checkpoints: bool = False,
     backend: Optional[str] = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    worker_id: Optional[str] = None,
 ) -> CampaignReport:
     """Execute every pending shard of ``plan``; skip completed ones.
 
@@ -221,6 +227,19 @@ def run_campaign(
     enter shard digests, so artifacts produced by different tiers
     occupy the same store slot and resume works across tiers.
 
+    The supervisor participates in the distributed lease protocol (see
+    :mod:`repro.campaign.lease`): every shard is claimed before execution
+    and released after publication, so ``run_campaign`` can run
+    *concurrently* with ``repro campaign worker`` processes against the
+    same store without duplicated work. Shards another worker holds are
+    deferred and resolved at the end — absorbed when the foreign worker
+    publishes them, taken over and executed here when its lease expires.
+    With no other workers the lease path is a no-op apart from one claim
+    file per in-flight shard, and all existing semantics are unchanged.
+    ``lease_ttl_s``/``worker_id`` tune that protocol; retry backoff is
+    exponential with deterministic per-shard jitter
+    (:func:`~repro.campaign.lease.backoff_delay`).
+
     Safe to call repeatedly with the same arguments: completed shards are
     skipped, so this is also the *resume* entry point.
     """
@@ -241,6 +260,8 @@ def run_campaign(
             else CheckpointSpec()
         )
     store.save_manifest(plan)
+    wid = worker_id or f"supervisor-{os.getpid()}"
+    lease = LeaseManager(store, plan.digest, owner=wid, ttl_s=lease_ttl_s)
 
     def beat(shard: ShardSpec, index: int, status: str, **extra) -> None:
         """Publish one liveness record; never let it fail the campaign."""
@@ -253,6 +274,7 @@ def run_campaign(
                 status,
                 shard_index=index,
                 trial_count=shard.trial_count,
+                worker=wid,
                 **extra,
             )
             recorder.increment("campaign.heartbeats")
@@ -274,24 +296,13 @@ def run_campaign(
     def execute_in_process(
         shard: ShardSpec,
     ) -> Tuple[Dict[str, List[float]], Optional[List[dict]]]:
-        # With a checkpoint spec the shard runs under its own worker-style
+        # Shared single-shard executor (also the worker loop's engine):
+        # with a checkpoint spec the shard runs under its own worker-style
         # recorder (digests + metrics ride back and merge); without one it
         # runs under the ambient recorder exactly as before.
-        outcomes, aux = _run_trial_batch(
-            shard.config,
-            shard.schemes,
-            shard.search_rate,
-            shard.base_seed,
-            shard.trial_indices,
-            collect if checkpoint_spec is not None else False,
-            batch_trials,
-            checkpoint_spec,
-            backend_name,
+        return execute_shard_in_process(
+            shard, batch_trials, checkpoint_spec, backend_name, recorder, collect
         )
-        snapshot = aux.get("metrics") if aux else None
-        if collect and snapshot:
-            recorder.metrics.merge_snapshot(snapshot)
-        return _shard_losses(outcomes, shard), (aux.get("checkpoints") if aux else None)
 
     with recorder.span(
         "campaign.run",
@@ -337,17 +348,33 @@ def run_campaign(
                     )
 
             pending_indices = {index for index, _ in pending}
-            for index, shard in enumerate(plan.shards):
-                if index not in pending_indices:
-                    # Skipped shard: replay its stored digest manifest into
-                    # the parent flight recorder in place, so a resumed
-                    # campaign's event sequence is identical — order
-                    # included — to an uninterrupted run's.
-                    if parent_checkpointer is not None:
-                        manifest = store.digest_manifest(shard)
-                        if manifest:
-                            parent_checkpointer.absorb(manifest)
-                    continue
+            deferred: List[Tuple[int, ShardSpec]] = []
+            deferred_total = 0
+            lost = 0
+
+            def absorb_manifest(shard: ShardSpec) -> None:
+                # Replay a completed shard's stored digest manifest into
+                # the parent flight recorder in place, so a resumed
+                # campaign's event sequence is identical — order included
+                # — to an uninterrupted run's.
+                if parent_checkpointer is not None:
+                    manifest = store.digest_manifest(shard)
+                    if manifest:
+                        parent_checkpointer.absorb(manifest)
+
+            def claim(shard: ShardSpec) -> bool:
+                """Acquire the shard's lease, recording takeover events."""
+                prior_takeovers = lease.takeovers
+                if not lease.acquire(shard.digest):
+                    return False
+                if lease.takeovers > prior_takeovers:
+                    recorder.increment("campaign.lease_takeovers")
+                    recorder.event("campaign.lease_takeover", digest=shard.digest)
+                return True
+
+            def process_shard(index: int, shard: ShardSpec) -> None:
+                """Execute one lease-held shard: retries, publish, release."""
+                nonlocal executed, done_trials, retry_count, fallback_count, lost
                 losses: Optional[Dict[str, List[float]]] = None
                 shard_digests: Optional[List[dict]] = None
                 shard_started = time.time()
@@ -358,6 +385,7 @@ def run_campaign(
                     search_rate=shard.search_rate,
                     trial_start=shard.trial_start,
                     trial_count=shard.trial_count,
+                    worker_id=wid,
                 ) as shard_span:
                     attempt = 0
                     while losses is None:
@@ -398,7 +426,8 @@ def run_campaign(
                                     started_unix_s=shard_started,
                                     error=str(error),
                                 )
-                                break
+                                lease.release(shard.digest)
+                                return
                             retry_count += 1
                             recorder.increment("campaign.retries")
                             recorder.event(
@@ -419,31 +448,81 @@ def run_campaign(
                                 attempt,
                                 error,
                             )
-                            if backoff_s > 0.0:
-                                time.sleep(backoff_s * (2 ** (attempt - 1)))
-                    if losses is None:
-                        continue
-                    store.put(shard, losses, digests=shard_digests, backend=backend_name)
-                    if parent_checkpointer is not None and shard_digests:
-                        parent_checkpointer.absorb(shard_digests)
-                    if fault_injector is not None and fault_injector.corrupts(index):
-                        _corrupt_artifact(store, shard)
-                    executed += 1
+                            delay = backoff_delay(backoff_s, attempt, shard.digest)
+                            if delay > 0.0:
+                                time.sleep(delay)
+                            lease.renew(shard.digest)
+                    if publish_shard(
+                        store, shard, losses,
+                        digests=shard_digests, backend=backend_name, lease=lease,
+                    ):
+                        if parent_checkpointer is not None and shard_digests:
+                            parent_checkpointer.absorb(shard_digests)
+                        if fault_injector is not None and fault_injector.corrupts(index):
+                            _corrupt_artifact(store, shard)
+                        executed += 1
+                        recorder.increment("campaign.shards_executed")
+                        shard_span.annotate(attempts=attempt + 1)
+                        beat(
+                            shard,
+                            index,
+                            "done",
+                            attempt=attempt,
+                            started_unix_s=shard_started,
+                            duration_s=time.time() - shard_started,
+                        )
+                    else:
+                        # Zombie guard: the lease was taken over and the
+                        # new owner already published — identical bytes,
+                        # so nothing is lost, just not double-written.
+                        lost += 1
+                        recorder.increment("campaign.lease_discards")
+                        recorder.event("campaign.lease_discard", digest=shard.digest)
                     done_trials += shard.trial_count
-                    recorder.increment("campaign.shards_executed")
-                    shard_span.annotate(attempts=attempt + 1)
-                    beat(
-                        shard,
-                        index,
-                        "done",
-                        attempt=attempt,
-                        started_unix_s=shard_started,
-                        duration_s=time.time() - shard_started,
-                    )
+                lease.release(shard.digest)
                 reporter.report(done_trials)
                 if fault_injector is not None:
                     fault_injector.after_shard(index)
+
+            for index, shard in enumerate(plan.shards):
+                if index not in pending_indices:
+                    absorb_manifest(shard)
+                    continue
+                if not claim(shard):
+                    # A live foreign lease: leave it to that worker for
+                    # now and come back once the plan's own pass is done.
+                    deferred.append((index, shard))
+                    recorder.increment("campaign.lease_conflicts")
+                    recorder.event("campaign.lease_deferred", digest=shard.digest)
+                    continue
+                lease.renew_due()
+                process_shard(index, shard)
+
+            deferred_total = len(deferred)
+            while deferred:
+                remaining: List[Tuple[int, ShardSpec]] = []
+                progressed = False
+                for index, shard in deferred:
+                    if store.has(shard):
+                        # The foreign worker completed it: absorb as a
+                        # late skip — the artifact is byte-identical to
+                        # what this supervisor would have produced.
+                        absorb_manifest(shard)
+                        skipped += 1
+                        done_trials += shard.trial_count
+                        recorder.increment("campaign.shards_skipped")
+                        reporter.report(done_trials)
+                        progressed = True
+                    elif claim(shard):
+                        process_shard(index, shard)
+                        progressed = True
+                    else:
+                        remaining.append((index, shard))
+                deferred = remaining
+                if deferred and not progressed:
+                    time.sleep(0.1)
         finally:
+            lease.release_all()
             if pool is not None:
                 for future in futures.values():
                     future.cancel()
@@ -454,6 +533,8 @@ def run_campaign(
             retries=retry_count,
             fallbacks=fallback_count,
             failed=len(failed),
+            deferred=deferred_total,
+            takeovers=lease.takeovers,
         )
     report = CampaignReport(
         executed=executed,
@@ -461,6 +542,7 @@ def run_campaign(
         retries=retry_count,
         fallbacks=fallback_count,
         failed_digests=tuple(failed),
+        deferred=deferred_total,
     )
     if failed:
         raise ShardExecutionError(

@@ -5,6 +5,7 @@ Layout under the store root::
     shards/<digest>.json               one completed shard result
     manifests/<digest>.json            one campaign plan (written at run start)
     heartbeats/<plan>/<digest>.json    one shard's liveness record (timestamps)
+    claims/<plan>/<digest>.json        one worker's lease on one shard
 
 A shard artifact carries a provenance header (schema, code version, base
 seed, scenario config), the full shard spec, and the per-scheme loss
@@ -52,6 +53,7 @@ class ShardStore:
         self.shard_dir = self.root / "shards"
         self.manifest_dir = self.root / "manifests"
         self.heartbeat_root = self.root / "heartbeats"
+        self.claim_root = self.root / "claims"
         self.shard_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_dir.mkdir(parents=True, exist_ok=True)
 
@@ -204,13 +206,17 @@ class ShardStore:
         duration_s: Optional[float] = None,
         trial_count: Optional[int] = None,
         error: Optional[str] = None,
+        worker: Optional[str] = None,
     ) -> Path:
         """Atomically publish one shard's liveness record.
 
         ``status`` is ``running`` / ``retrying`` / ``done`` / ``failed``.
         Written through the same atomic :func:`~repro.utils.serialization.dump`
         as artifacts, with a provenance stamp (schema + code version), so
-        watchers never read a torn record.
+        watchers never read a torn record. ``worker``, when given, names
+        the worker that produced the record — the execution-provenance
+        trail distributed campaigns surface in ``status --json``
+        (additive: single-supervisor records are unchanged without it).
         """
         directory = self.heartbeat_dir(plan_digest)
         directory.mkdir(parents=True, exist_ok=True)
@@ -234,6 +240,8 @@ class ShardStore:
             record["trial_count"] = trial_count
         if error is not None:
             record["error"] = error
+        if worker is not None:
+            record["worker"] = worker
         path = self.heartbeat_path(plan_digest, shard_digest)
         dump(record, path)
         return path
@@ -265,6 +273,41 @@ class ShardStore:
             records[record["shard"]] = record
         return records
 
+    # -- claims (shard leases) -----------------------------------------
+
+    def claim_dir(self, plan_digest: str) -> Path:
+        """Where one campaign's lease claims live (may not exist)."""
+        return self.claim_root / plan_digest
+
+    def claim_path(self, plan_digest: str, shard_digest: str) -> Path:
+        return self.claim_dir(plan_digest) / f"{shard_digest}.json"
+
+    def read_claims(self, plan_digest: str) -> Dict[str, dict]:
+        """Every readable lease claim for one campaign, by shard digest.
+
+        Raw payload dicts (see :class:`~repro.campaign.lease.LeaseRecord`
+        for the parsed form); torn or mis-shaped claims are skipped — a
+        watcher must keep rendering through a half-written store, and
+        workers heal unreadable claims through the takeover path anyway.
+        """
+        directory = self.claim_dir(plan_digest)
+        if not directory.is_dir():
+            return {}
+        records: Dict[str, dict] = {}
+        for path in sorted(directory.glob("*.json")):
+            try:
+                record = load(path)
+            except (OSError, ValueError):
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("kind") != "campaign-lease-v1"
+                or not isinstance(record.get("shard"), str)
+            ):
+                continue
+            records[record["shard"]] = record
+        return records
+
     # -- manifests -----------------------------------------------------
 
     def save_manifest(self, plan: CampaignPlan) -> Path:
@@ -291,17 +334,27 @@ class ShardStore:
         self,
         keep: Optional[Iterable[str]] = None,
         dry_run: bool = False,
+        now_unix_s: Optional[float] = None,
     ) -> List[Path]:
-        """Remove corrupt artifacts and artifacts not in ``keep``.
+        """Remove corrupt artifacts, artifacts not in ``keep``, and
+        heartbeat/claim litter.
 
         ``keep`` is the set of digests to retain (defaults to the union
         of all stored manifests' shards). Corrupt artifacts are removed
-        even when referenced — resume re-runs them anyway. Returns the
-        removed (or, with ``dry_run``, would-be-removed) paths.
+        even when referenced — resume re-runs them anyway. Beyond the
+        artifact tree, gc prunes the liveness subtrees long campaigns
+        accumulate: heartbeat records whose plan or shard no stored
+        manifest references (orphans), and claim files that are orphaned,
+        torn, or whose lease has expired (see
+        :func:`~repro.campaign.lease.lease_expired` — a live lease is
+        never touched, so gc is safe to run against an active campaign).
+        Returns the removed (or, with ``dry_run``, would-be-removed)
+        paths. ``now_unix_s`` is injectable for tests.
         """
+        manifests = self.load_manifests()
         if keep is None:
             keep_set: Set[str] = set()
-            for plan in self.load_manifests().values():
+            for plan in manifests.values():
                 keep_set.update(shard.digest for shard in plan.shards)
         else:
             keep_set = set(keep)
@@ -313,4 +366,60 @@ class ShardStore:
             removed.append(path)
             if not dry_run:
                 path.unlink()
+        plan_shards = {
+            digest: {shard.digest for shard in plan.shards}
+            for digest, plan in manifests.items()
+        }
+        removed.extend(
+            self._gc_liveness_tree(
+                self.heartbeat_root, plan_shards, dry_run, expire_claims=False
+            )
+        )
+        removed.extend(
+            self._gc_liveness_tree(
+                self.claim_root,
+                plan_shards,
+                dry_run,
+                expire_claims=True,
+                now_unix_s=now_unix_s,
+            )
+        )
+        return removed
+
+    def _gc_liveness_tree(
+        self,
+        root: Path,
+        plan_shards: Dict[str, Set[str]],
+        dry_run: bool,
+        expire_claims: bool,
+        now_unix_s: Optional[float] = None,
+    ) -> List[Path]:
+        """Prune one ``<root>/<plan>/<shard>.json`` liveness subtree."""
+        from repro.campaign.lease import LeaseRecord, lease_expired
+
+        removed: List[Path] = []
+        if not root.is_dir():
+            return removed
+        for plan_dir in sorted(root.iterdir()):
+            if not plan_dir.is_dir():
+                continue
+            known = plan_shards.get(plan_dir.name)
+            for path in sorted(plan_dir.glob("*.json")):
+                drop = known is None or path.stem not in known
+                if not drop and expire_claims:
+                    try:
+                        record = LeaseRecord.from_payload(load(path))
+                    except (OSError, ValueError):
+                        record = None
+                    drop = record is None or lease_expired(record, now_unix_s)
+                if not drop:
+                    continue
+                removed.append(path)
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        pass
+            if not dry_run and known is None and not any(plan_dir.iterdir()):
+                plan_dir.rmdir()
         return removed

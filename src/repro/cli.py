@@ -22,6 +22,8 @@
     repro align --channel multipath --rate 0.1  # one alignment, verbose
     repro report results/ --out REPORT.md       # fold saved JSONs into markdown
     repro campaign run --store results/camp --trials 100   # sharded sweep
+    repro campaign launch --store results/camp --workers 4 --trials 100
+    repro campaign worker --store results/camp  # one lease-based worker
     repro campaign status --store results/camp  # done/pending/failed shards
     repro campaign status --store results/camp --json  # health JSON for CI
     repro campaign watch --store results/camp   # refreshing TTY dashboard
@@ -220,6 +222,104 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_backend_argument(verb_cmd)
         verb_cmd.set_defaults(handler=_handle_campaign_run)
+
+    launch_cmd = campaign_sub.add_parser(
+        "launch",
+        help="run a sweep across N coordinator-free lease-based worker processes",
+    )
+    _add_campaign_plan_arguments(launch_cmd)
+    launch_cmd.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes to spawn (default 2)",
+    )
+    launch_cmd.add_argument(
+        "--retries", type=int, default=2, help="extra attempts per failing shard"
+    )
+    launch_cmd.add_argument(
+        "--backoff", type=float, default=0.0, metavar="S",
+        help="base retry backoff in seconds (doubled per attempt, jittered)",
+    )
+    launch_cmd.add_argument(
+        "--batch-trials", type=int, default=None, metavar="B",
+        help="run each shard through the batched engine in blocks of B",
+    )
+    launch_cmd.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="shard lease time-to-live before takeover (default 30)",
+    )
+    launch_cmd.add_argument(
+        "--claim-batch", type=int, default=1, metavar="K",
+        help="shards each worker claims per scan before executing (default 1)",
+    )
+    launch_cmd.add_argument(
+        "--json", default=None, help="write the assembled sweep as JSON"
+    )
+    launch_cmd.add_argument(
+        "--progress", action="store_true", help="print progress/ETA lines to stderr"
+    )
+    launch_cmd.add_argument(
+        "--checkpoints", action="store_true",
+        help="record flight-recorder stage digests into each shard artifact",
+    )
+    launch_cmd.add_argument(
+        "--verify-digests", action="store_true",
+        help="require a digest manifest covering every shard trial at assembly",
+    )
+    _add_backend_argument(launch_cmd)
+    launch_cmd.set_defaults(handler=_handle_campaign_launch)
+
+    worker_cmd = campaign_sub.add_parser(
+        "worker",
+        help="run one lease-based worker against a plan recorded in the store",
+    )
+    worker_cmd.add_argument(
+        "plan", nargs="?", default=None, metavar="PLAN",
+        help=(
+            "plan digest (or unique prefix) from the store's manifests;"
+            " defaults to the store's only recorded plan"
+        ),
+    )
+    worker_cmd.add_argument("--store", required=True, metavar="DIR", help="shard store root")
+    worker_cmd.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable worker name for heartbeats/leases (default: worker-<pid>)",
+    )
+    worker_cmd.add_argument(
+        "--retries", type=int, default=2, help="extra attempts per failing shard"
+    )
+    worker_cmd.add_argument(
+        "--backoff", type=float, default=0.0, metavar="S",
+        help="base retry backoff in seconds (doubled per attempt, jittered)",
+    )
+    worker_cmd.add_argument(
+        "--batch-trials", type=int, default=None, metavar="B",
+        help="run each shard through the batched engine in blocks of B",
+    )
+    worker_cmd.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="shard lease time-to-live before takeover (default 30)",
+    )
+    worker_cmd.add_argument(
+        "--poll", type=float, default=None, metavar="S",
+        help="sleep between scans while other workers hold every pending shard",
+    )
+    worker_cmd.add_argument(
+        "--claim-batch", type=int, default=1, metavar="K",
+        help="shards to claim per scan before executing (default 1)",
+    )
+    worker_cmd.add_argument(
+        "--max-shards", type=int, default=None, metavar="N",
+        help="stop after executing N shards (default: run to completion)",
+    )
+    worker_cmd.add_argument(
+        "--progress", action="store_true", help="print progress/ETA lines to stderr"
+    )
+    worker_cmd.add_argument(
+        "--checkpoints", action="store_true",
+        help="record flight-recorder stage digests into each shard artifact",
+    )
+    _add_backend_argument(worker_cmd)
+    worker_cmd.set_defaults(handler=_handle_campaign_worker)
 
     status_cmd = campaign_sub.add_parser(
         "status", help="report done/pending/failed shard counts per recorded campaign"
@@ -641,15 +741,8 @@ def _campaign_plan_from_args(args: argparse.Namespace):
 
 
 def _handle_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import (
-        ShardStore,
-        assemble_effectiveness_sweep,
-        campaign_status,
-        run_campaign,
-    )
+    from repro.campaign import ShardStore, campaign_status, run_campaign
     from repro.exceptions import CampaignError
-    from repro.experiments.render import render_effectiveness
-    from repro.sim.persistence import build_provenance, save_effectiveness_sweep
 
     config, plan = _campaign_plan_from_args(args)
     store = ShardStore(args.store)
@@ -679,7 +772,18 @@ def _handle_campaign_run(args: argparse.Namespace) -> int:
     print(
         f"executed {report.executed} shards, skipped {report.skipped},"
         f" {report.retries} retries, {report.fallbacks} fallbacks"
+        + (f", {report.deferred} deferred to other workers" if report.deferred else "")
     )
+    return _finish_campaign(args, config, plan, store, backend_name)
+
+
+def _finish_campaign(args, config, plan, store, backend_name) -> int:
+    """Assemble, render, and optionally persist one completed campaign."""
+    from repro.campaign import assemble_effectiveness_sweep
+    from repro.exceptions import CampaignError
+    from repro.experiments.render import render_effectiveness
+    from repro.sim.persistence import build_provenance, save_effectiveness_sweep
+
     try:
         sweep = assemble_effectiveness_sweep(
             plan, store, verify_digests=args.verify_digests
@@ -704,6 +808,108 @@ def _handle_campaign_run(args: argparse.Namespace) -> int:
         )
         print(f"\nwrote {args.json}")
     return 0
+
+
+def _handle_campaign_launch(args: argparse.Namespace) -> int:
+    from repro.campaign import ShardStore, campaign_status, launch_campaign
+
+    config, plan = _campaign_plan_from_args(args)
+    store = ShardStore(args.store)
+    before = campaign_status(plan, store)
+    print(
+        f"campaign {plan.digest[:12]}: {len(plan.shards)} shards"
+        f" ({plan.total_trials} trials), {before.done} already done;"
+        f" launching {args.workers} lease-based worker(s)"
+    )
+    with ExitStack() as stack:
+        backend_name = _enter_backend(args, stack)
+        kwargs = {}
+        if args.lease_ttl is not None:
+            kwargs["lease_ttl_s"] = args.lease_ttl
+        report = launch_campaign(
+            plan,
+            store,
+            num_workers=args.workers,
+            batch_trials=args.batch_trials,
+            retries=args.retries,
+            backoff_s=args.backoff,
+            claim_batch=args.claim_batch,
+            checkpoints=args.checkpoints,
+            backend=args.backend,
+            progress=print_progress if args.progress else None,
+            **kwargs,
+        )
+    attribution = ", ".join(
+        f"{worker}: {count}" for worker, count in report.attribution.items()
+    )
+    print(f"workers exited {list(report.exit_codes)}; shards by worker: {attribution or '-'}")
+    if not report.complete:
+        print("error: campaign incomplete after all workers exited", file=sys.stderr)
+        return 1
+    return _finish_campaign(args, config, plan, store, backend_name)
+
+
+def _resolve_stored_plan(store, token):
+    """Find one recorded plan by digest prefix (or the sole manifest)."""
+    manifests = store.load_manifests()
+    if not manifests:
+        raise SystemExit(f"error: no campaign manifests recorded in {store.root}")
+    if token is None:
+        if len(manifests) > 1:
+            digests = ", ".join(digest[:12] for digest in sorted(manifests))
+            raise SystemExit(
+                f"error: store records {len(manifests)} plans ({digests});"
+                " name one by digest prefix"
+            )
+        return next(iter(manifests.values()))
+    matches = {
+        digest: plan for digest, plan in manifests.items() if digest.startswith(token)
+    }
+    if not matches:
+        raise SystemExit(f"error: no recorded plan matches {token!r}")
+    if len(matches) > 1:
+        digests = ", ".join(digest[:12] for digest in sorted(matches))
+        raise SystemExit(f"error: plan prefix {token!r} is ambiguous ({digests})")
+    return next(iter(matches.values()))
+
+
+def _handle_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.campaign import ShardStore, run_worker
+
+    store = ShardStore(args.store)
+    try:
+        plan = _resolve_stored_plan(store, args.plan)
+    except SystemExit as error:
+        print(error.code, file=sys.stderr)
+        return 1
+    with ExitStack() as stack:
+        _enter_backend(args, stack)
+        kwargs = {}
+        if args.lease_ttl is not None:
+            kwargs["lease_ttl_s"] = args.lease_ttl
+        if args.poll is not None:
+            kwargs["poll_s"] = args.poll
+        report = run_worker(
+            plan,
+            store,
+            worker_id=args.worker_id,
+            batch_trials=args.batch_trials,
+            retries=args.retries,
+            backoff_s=args.backoff,
+            claim_batch=args.claim_batch,
+            max_shards=args.max_shards,
+            checkpoints=args.checkpoints,
+            backend=args.backend,
+            progress=print_progress if args.progress else None,
+            **kwargs,
+        )
+    print(
+        f"worker {report.worker_id}: executed {report.executed},"
+        f" skipped {report.skipped}, retries {report.retries},"
+        f" conflicts {report.conflicts}, takeovers {report.takeovers},"
+        f" discarded {report.discarded}, failed {len(report.failed_digests)}"
+    )
+    return 1 if report.failed_digests else 0
 
 
 def _campaign_health_kwargs(args: argparse.Namespace) -> dict:

@@ -107,6 +107,10 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
             "timeouts": events.get("campaign.shard_timeout", 0),
             "pool_breaks": events.get("campaign.pool_broken", 0),
             "heartbeats": counters.get("campaign.heartbeats", 0.0),
+            "workers": len(durations.get("campaign.worker", [])),
+            "lease_conflicts": counters.get("campaign.lease_conflicts", 0.0),
+            "lease_takeovers": counters.get("campaign.lease_takeovers", 0.0),
+            "lease_discards": counters.get("campaign.lease_discards", 0.0),
             "mean_shard_s": sum(shards) / len(shards) if shards else 0.0,
             "mean_attempts": (
                 sum(shard_attempts) / len(shard_attempts) if shard_attempts else 0.0
@@ -210,6 +214,18 @@ def render_trace_summary(summary: Mapping[str, Any], title: str = "Trace summary
             f"  mean attempts {campaign.get('mean_attempts', 0.0):.1f}"
             f"  heartbeats {campaign.get('heartbeats', 0.0):.0f}"
         )
+        if (
+            campaign.get("workers")
+            or campaign.get("lease_conflicts")
+            or campaign.get("lease_takeovers")
+            or campaign.get("lease_discards")
+        ):
+            lines.append(
+                f"  workers {campaign.get('workers', 0):d}"
+                f"  lease conflicts {campaign.get('lease_conflicts', 0.0):.0f}"
+                f"  takeovers {campaign.get('lease_takeovers', 0.0):.0f}"
+                f"  discards {campaign.get('lease_discards', 0.0):.0f}"
+            )
         lines.append("")
 
     checkpoints = summary.get("checkpoints", {})

@@ -228,3 +228,98 @@ class TestRenderDashboard:
         assert "stalled" in text
         assert "beat age" in text
         assert "campaign complete" not in text
+
+
+class TestLeaseAwareHealth:
+    def _claim(self, store, plan, shard, owner="w0", age_s=0.0, ttl_s=30.0,
+               host=None, pid=None):
+        import os
+        import socket
+
+        from repro.campaign.lease import LeaseRecord
+        from repro.utils.serialization import dump
+
+        now = time.time()
+        record = LeaseRecord(
+            plan=plan.digest, shard=shard.digest, owner=owner,
+            token=f"t:{owner}", pid=pid if pid is not None else os.getpid(),
+            host=host if host is not None else socket.gethostname(),
+            acquired_unix_s=now - age_s, renewed_unix_s=now - age_s, ttl_s=ttl_s,
+        )
+        path = store.claim_path(plan.digest, shard.digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        dump(record.to_payload(), path)
+        return record
+
+    def test_live_lease_running_shard_stays_running(self, plan, store):
+        shard = plan.shards[0]
+        store.write_heartbeat(
+            plan.digest, shard.digest, "running", shard_index=0, worker="w0"
+        )
+        self._claim(store, plan, shard, owner="w0")
+        health = campaign_health(plan, store)
+        view = health.shards[0]
+        assert view.state == "running"
+        assert view.worker == "w0"
+        assert view.lease_owner == "w0"
+        assert view.lease_expired is False
+        assert view.lease_age_s is not None and view.lease_age_s < 5.0
+
+    def test_expired_lease_flags_stalled_immediately(self, plan, store):
+        """A SIGKILLed worker's shard stalls without waiting out the
+
+        heartbeat threshold: the fresh heartbeat says running, the dead
+        lease says reassignable."""
+        shard = plan.shards[0]
+        store.write_heartbeat(
+            plan.digest, shard.digest, "running", shard_index=0, worker="w0"
+        )
+        self._claim(
+            store, plan, shard, owner="w0", age_s=500.0, ttl_s=30.0,
+            host="not-this-host", pid=1,
+        )
+        health = campaign_health(plan, store)
+        view = health.shards[0]
+        assert view.state == "stalled"
+        assert view.lease_expired is True
+
+    def test_worker_falls_back_to_lease_owner(self, plan, store):
+        shard = plan.shards[0]
+        store.write_heartbeat(plan.digest, shard.digest, "running", shard_index=0)
+        self._claim(store, plan, shard, owner="w3")
+        view = campaign_health(plan, store).shards[0]
+        assert view.worker == "w3"
+
+    def test_payload_carries_lease_fields(self, plan, store):
+        import json
+
+        shard = plan.shards[0]
+        store.write_heartbeat(
+            plan.digest, shard.digest, "running", shard_index=0, worker="w0"
+        )
+        self._claim(store, plan, shard, owner="w0")
+        payload = campaign_health(plan, store).to_payload()
+        json.dumps(payload)  # JSON-shaped end to end
+        entry = payload["shards"][0]
+        assert entry["worker"] == "w0"
+        assert entry["lease_owner"] == "w0"
+        assert entry["lease_expired"] is False
+        assert entry["lease_age_s"] is not None
+
+    def test_render_shows_worker_and_lease_columns(self, plan, store):
+        running, dead = plan.shards[0], plan.shards[1]
+        store.write_heartbeat(
+            plan.digest, running.digest, "running", shard_index=0, worker="w0"
+        )
+        self._claim(store, plan, running, owner="w0")
+        store.write_heartbeat(
+            plan.digest, dead.digest, "running", shard_index=1, worker="w9"
+        )
+        self._claim(
+            store, plan, dead, owner="w9", age_s=500.0, ttl_s=30.0,
+            host="not-this-host", pid=1,
+        )
+        rendered = render_campaign_health(campaign_health(plan, store))
+        assert "worker" in rendered and "lease" in rendered
+        assert "w0" in rendered and "w9" in rendered
+        assert "expired" in rendered

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.campaign import (
@@ -191,3 +194,102 @@ class TestTrialGeneratorContract:
                 reference[2][name].loss_db,
                 reference[3][name].loss_db,
             ]
+
+
+class TestLeaseIntegration:
+    """run_campaign participates in the same claim protocol as workers."""
+
+    def test_solo_run_leaves_no_claims_behind(self, plan, store):
+        report = run_campaign(plan, store)
+        assert report.deferred == 0
+        assert store.read_claims(plan.digest) == {}
+
+    def test_foreign_live_lease_defers_then_absorbs(self, plan, store):
+        from repro.campaign import LeaseManager
+        from repro.campaign.worker import execute_shard_in_process
+        from repro.obs import get_recorder
+
+        contested = plan.shards[0]
+        foreign = LeaseManager(store, plan.digest, owner="other-host")
+        assert foreign.acquire(contested.digest)
+        losses, _ = execute_shard_in_process(
+            contested, None, None, None, get_recorder(), False
+        )
+
+        def publish_later() -> None:
+            # Wait until the scheduler has visibly started on the rest of
+            # the plan, then complete the contested shard "remotely".
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                beats = store.read_heartbeats(plan.digest)
+                if any(b.get("status") == "done" for b in beats.values()):
+                    break
+                time.sleep(0.01)
+            store.put(contested, losses)
+            foreign.release(contested.digest)
+
+        thread = threading.Thread(target=publish_later)
+        thread.start()
+        try:
+            report = run_campaign(plan, store)
+        finally:
+            thread.join()
+        assert report.deferred == 1
+        assert report.executed == len(plan.shards) - 1
+        assert report.skipped == 1
+        assert campaign_status(plan, store).complete
+
+    def test_expired_foreign_lease_is_taken_over(self, plan, store):
+        import time as _time
+
+        from repro.campaign import LeaseRecord
+        from repro.utils.serialization import dump
+
+        contested = plan.shards[0]
+        now = _time.time()
+        ghost = LeaseRecord(
+            plan=plan.digest,
+            shard=contested.digest,
+            owner="ghost",
+            token="otherhost:1:dead",
+            pid=1,
+            host="not-this-host",
+            acquired_unix_s=now - 500.0,
+            renewed_unix_s=now - 400.0,
+            ttl_s=30.0,
+        )
+        path = store.claim_path(plan.digest, contested.digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        dump(ghost.to_payload(), path)
+
+        recorder = MetricsRecorder()
+        with use_recorder(recorder):
+            report = run_campaign(plan, store)
+        assert report.executed == len(plan.shards)
+        assert recorder.metrics.counter("campaign.lease_takeovers") == 1.0
+        assert store.read_claims(plan.digest) == {}
+        assert campaign_status(plan, store).complete
+
+
+class TestDeterministicBackoffJitter:
+    """Retry backoff is a pure function of (shard digest, attempt)."""
+
+    def test_delay_is_reproducible(self):
+        from repro.campaign import backoff_delay
+
+        plan_digests = [f"d{i}" for i in range(8)]
+        first = [backoff_delay(0.2, 2, digest) for digest in plan_digests]
+        second = [backoff_delay(0.2, 2, digest) for digest in plan_digests]
+        assert first == second
+
+    def test_delay_varies_across_shards_within_bounds(self):
+        from repro.campaign import backoff_delay
+
+        delays = [backoff_delay(0.2, 1, f"d{i}") for i in range(8)]
+        assert len(set(delays)) == len(delays)
+        assert all(0.1 <= delay < 0.3 for delay in delays)  # [0.5, 1.5) x base
+
+    def test_zero_backoff_stays_zero(self):
+        from repro.campaign import backoff_delay
+
+        assert backoff_delay(0.0, 5, "digest") == 0.0

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.campaign.plan import ShardSpec, plan_effectiveness_sweep
 from repro.campaign.store import ShardStore
 from repro.sim.parallel import SchemeSpec
-from repro.utils.serialization import load
+from repro.utils.serialization import dump, load
 from repro.version import __version__
 
 
@@ -131,3 +133,77 @@ class TestGc:
         assert path.exists()
         assert store.gc(keep=[]) == [path]
         assert not path.exists()
+
+
+class TestGcLivenessTrees:
+    def _plan(self, store, small_config, specs):
+        plan = plan_effectiveness_sweep(
+            small_config, specs, (0.1,), 4, base_seed=3, shard_trials=2
+        )
+        store.save_manifest(plan)
+        return plan
+
+    def test_gc_prunes_orphaned_heartbeats(self, store, small_config, specs):
+        plan = self._plan(store, small_config, specs)
+        shard = plan.shards[0]
+        store.write_heartbeat(plan.digest, shard.digest, "running", shard_index=0)
+        store.write_heartbeat(plan.digest, "not-a-shard", "running", shard_index=9)
+        store.write_heartbeat("forgotten-plan", "whatever", "done", shard_index=0)
+
+        removed = store.gc()
+        assert store.heartbeat_path(plan.digest, shard.digest).exists()
+        assert not store.heartbeat_path(plan.digest, "not-a-shard").exists()
+        assert not store.heartbeat_dir("forgotten-plan").exists()
+        assert len(removed) == 2
+
+    def test_gc_prunes_orphaned_torn_and_expired_claims(
+        self, store, small_config, specs
+    ):
+        from repro.campaign.lease import LeaseManager, LeaseRecord
+
+        plan = self._plan(store, small_config, specs)
+        live_shard, stale_shard = plan.shards
+
+        # Live lease: held by this very process, freshly renewed.
+        lease = LeaseManager(store, plan.digest, owner="alive")
+        assert lease.acquire(live_shard.digest)
+
+        # Expired lease: ttl long gone on a foreign host.
+        now = time.time()
+        expired = LeaseRecord(
+            plan=plan.digest, shard=stale_shard.digest, owner="ghost",
+            token="otherhost:1:x", pid=1, host="not-this-host",
+            acquired_unix_s=now - 500.0, renewed_unix_s=now - 400.0, ttl_s=30.0,
+        )
+        expired_path = store.claim_path(plan.digest, stale_shard.digest)
+        dump(expired.to_payload(), expired_path)
+
+        # Orphans and torn writes.
+        orphan_path = store.claim_path(plan.digest, "not-a-shard")
+        dump(expired.to_payload(), orphan_path)
+        foreign_dir = store.claim_dir("forgotten-plan")
+        foreign_dir.mkdir(parents=True)
+        torn_path = foreign_dir / "torn.json"
+        torn_path.write_text('{"kind": "campaign-lea', encoding="utf-8")
+
+        would_remove = store.gc(dry_run=True)
+        assert expired_path.exists() and orphan_path.exists() and torn_path.exists()
+        assert sorted(would_remove) == sorted(
+            [expired_path, orphan_path, torn_path]
+        )
+
+        removed = store.gc()
+        assert sorted(removed) == sorted([expired_path, orphan_path, torn_path])
+        assert lease.still_owns(live_shard.digest)  # live lease untouched
+        assert not foreign_dir.exists()  # emptied orphan dir pruned
+
+    def test_gc_expiry_clock_is_injectable(self, store, small_config, specs):
+        from repro.campaign.lease import LeaseManager
+
+        plan = self._plan(store, small_config, specs)
+        lease = LeaseManager(store, plan.digest, owner="w0", ttl_s=30.0)
+        assert lease.acquire(plan.shards[0].digest)
+        # From one hour in the future, this live lease looks expired.
+        future = time.time() + 3600.0
+        removed = store.gc(now_unix_s=future)
+        assert [store.claim_path(plan.digest, plan.shards[0].digest)] == removed

@@ -335,3 +335,123 @@ class TestDiagnosticsCli:
     def test_campaign_watch_empty_store(self, capsys, tmp_path: Path):
         assert main(["campaign", "watch", "--store", str(tmp_path / "none"), "--once"]) == 0
         assert "no campaigns recorded" in capsys.readouterr().out
+
+
+class TestCampaignDistributedCli:
+    def test_launch_parser_options(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "launch",
+                "--store",
+                "s",
+                "--workers",
+                "4",
+                "--quick",
+                "--lease-ttl",
+                "10",
+                "--claim-batch",
+                "2",
+            ]
+        )
+        assert args.campaign_command == "launch"
+        assert args.workers == 4
+        assert args.lease_ttl == 10.0
+        assert args.claim_batch == 2
+
+    def test_worker_parser_options(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "worker",
+                "abc123",
+                "--store",
+                "s",
+                "--worker-id",
+                "w7",
+                "--poll",
+                "0.1",
+                "--max-shards",
+                "3",
+            ]
+        )
+        assert args.campaign_command == "worker"
+        assert args.plan == "abc123"
+        assert args.worker_id == "w7"
+        assert args.poll == 0.1
+        assert args.max_shards == 3
+
+    def test_worker_plan_is_optional(self):
+        args = build_parser().parse_args(["campaign", "worker", "--store", "s"])
+        assert args.plan is None
+
+    def test_worker_on_empty_store_errors(self, capsys, tmp_path: Path):
+        code = main(["campaign", "worker", "--store", str(tmp_path / "none")])
+        assert code == 1
+        assert "no campaign manifests" in capsys.readouterr().err
+
+    def test_worker_end_to_end(self, capsys, tmp_path: Path):
+        store = tmp_path / "store"
+        # Record the plan without executing it (a worker needs a manifest).
+        from repro.campaign import ShardStore
+        from repro.cli import _campaign_plan_from_args
+
+        plan_args = build_parser().parse_args(
+            ["campaign", "run", "--store", str(store), "--quick", "--shard-trials", "4"]
+        )
+        _, plan = _campaign_plan_from_args(plan_args)
+        ShardStore(store).save_manifest(plan)
+
+        code = main(
+            ["campaign", "worker", "--store", str(store), "--worker-id", "w0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worker w0: executed" in out
+
+        # Worker provenance lands in campaign status --json.
+        assert main(["campaign", "status", "--store", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        health = payload[0] if isinstance(payload, list) else payload
+        assert health["complete"]
+        assert {shard["worker"] for shard in health["shards"]} == {"w0"}
+
+    def test_worker_ambiguous_plan_errors(self, capsys, tmp_path: Path):
+        store = tmp_path / "store"
+        from repro.campaign import ShardStore
+        from repro.cli import _campaign_plan_from_args
+
+        shard_store = ShardStore(store)
+        for seed in (1, 2):
+            plan_args = build_parser().parse_args(
+                [
+                    "campaign", "run", "--store", str(store),
+                    "--quick", "--seed", str(seed),
+                ]
+            )
+            _, plan = _campaign_plan_from_args(plan_args)
+            shard_store.save_manifest(plan)
+        code = main(["campaign", "worker", "--store", str(store)])
+        assert code == 1
+        assert "name one by digest prefix" in capsys.readouterr().err
+
+    def test_launch_end_to_end(self, capsys, tmp_path: Path):
+        store = tmp_path / "store"
+        code = main(
+            [
+                "campaign",
+                "launch",
+                "--store",
+                str(store),
+                "--workers",
+                "2",
+                "--quick",
+                "--shard-trials",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "launching 2 lease-based worker(s)" in out
+        assert "shards by worker:" in out
+        assert "Campaign sweep" in out

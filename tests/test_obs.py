@@ -385,3 +385,36 @@ class TestProgressReporter:
         assert reporter.done == 7
         reporter.report(99)
         assert reporter.done == 10
+
+
+class TestSummarizeDistributedCampaign:
+    def test_worker_and_lease_counters_surface(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            for lane in (0, 1):
+                with recorder.span("campaign.worker", worker_id=f"w{lane}", worker=lane):
+                    with recorder.span("campaign.shard", worker=lane):
+                        pass
+            recorder.increment("campaign.shards_executed", 2)
+            recorder.increment("campaign.lease_conflicts", 3)
+            recorder.increment("campaign.lease_takeovers", 1)
+            recorder.increment("campaign.lease_discards", 1)
+        summary = summarize_trace(read_trace(path))
+        campaign = summary["campaign"]
+        assert campaign["workers"] == 2
+        assert campaign["lease_conflicts"] == 3.0
+        assert campaign["lease_takeovers"] == 1.0
+        assert campaign["lease_discards"] == 1.0
+        text = render_trace_summary(summary)
+        assert "workers 2" in text
+        assert "lease conflicts 3" in text
+        assert "takeovers 1" in text
+
+    def test_lease_line_hidden_for_solo_campaigns(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path) as recorder:
+            with recorder.span("campaign.run"):
+                recorder.increment("campaign.shards_executed", 1)
+        text = render_trace_summary(summarize_trace(read_trace(path)))
+        assert "campaign scheduler" in text
+        assert "lease conflicts" not in text
