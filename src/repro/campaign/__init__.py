@@ -45,6 +45,7 @@ from repro.campaign.distributed import LaunchReport, launch_campaign, worker_att
 from repro.campaign.health import (
     DEFAULT_STALL_FACTOR,
     CampaignHealth,
+    HostHealth,
     ShardHealth,
     campaign_health,
     render_campaign_health,
@@ -93,6 +94,7 @@ __all__ = [
     "ShardStore",
     "HEARTBEAT_SCHEMA",
     "CampaignHealth",
+    "HostHealth",
     "ShardHealth",
     "campaign_health",
     "render_campaign_health",

@@ -41,6 +41,7 @@ from repro.obs.metrics import percentile
 
 __all__ = [
     "ShardHealth",
+    "HostHealth",
     "CampaignHealth",
     "campaign_health",
     "render_campaign_health",
@@ -73,6 +74,8 @@ class ShardHealth:
     error: Optional[str] = None
     #: worker that produced the last heartbeat (lease owner as fallback)
     worker: Optional[str] = None
+    #: machine that produced the last heartbeat (lease host as fallback)
+    host: Optional[str] = None
     #: current lease claim, when one exists
     lease_owner: Optional[str] = None
     lease_age_s: Optional[float] = None  # seconds since the last renewal
@@ -91,9 +94,42 @@ class ShardHealth:
             "duration_s": self.duration_s,
             "error": self.error,
             "worker": self.worker,
+            "host": self.host,
             "lease_owner": self.lease_owner,
             "lease_age_s": self.lease_age_s,
             "lease_expired": self.lease_expired,
+        }
+
+
+@dataclass(frozen=True)
+class HostHealth:
+    """One machine's slice of a campaign (heartbeat/lease provenance)."""
+
+    host: str
+    done: int
+    active: int  # running + retrying
+    stalled: int
+    failed: int
+    done_trials: int
+    workers: Tuple[str, ...]
+    #: freshest heartbeat age across the host's shards, when known
+    last_beat_age_s: Optional[float]
+
+    @property
+    def shards(self) -> int:
+        return self.done + self.active + self.stalled + self.failed
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "shards": self.shards,
+            "done": self.done,
+            "active": self.active,
+            "stalled": self.stalled,
+            "failed": self.failed,
+            "done_trials": self.done_trials,
+            "workers": list(self.workers),
+            "last_beat_age_s": self.last_beat_age_s,
         }
 
 
@@ -131,6 +167,40 @@ class CampaignHealth:
     def complete(self) -> bool:
         return all(shard.state == "done" for shard in self.shards)
 
+    def hosts(self) -> Tuple[HostHealth, ...]:
+        """Per-host roll-up of every shard with execution provenance.
+
+        Shards that never reported a host (pending, or records written
+        before the host stamp existed) are left out — the roll-up
+        describes where work *ran*, not where it is queued.
+        """
+        grouped: Dict[str, List[ShardHealth]] = {}
+        for shard in self.shards:
+            if shard.host is not None:
+                grouped.setdefault(shard.host, []).append(shard)
+        hosts: List[HostHealth] = []
+        for host in sorted(grouped):
+            members = grouped[host]
+            ages = [s.age_s for s in members if s.age_s is not None]
+            workers = sorted({s.worker for s in members if s.worker is not None})
+            hosts.append(
+                HostHealth(
+                    host=host,
+                    done=sum(1 for s in members if s.state == "done"),
+                    active=sum(
+                        1 for s in members if s.state in ("running", "retrying")
+                    ),
+                    stalled=sum(1 for s in members if s.state == "stalled"),
+                    failed=sum(1 for s in members if s.state == "failed"),
+                    done_trials=sum(
+                        s.trial_count for s in members if s.state == "done"
+                    ),
+                    workers=tuple(workers),
+                    last_beat_age_s=min(ages) if ages else None,
+                )
+            )
+        return tuple(hosts)
+
     def to_payload(self) -> Dict[str, Any]:
         """JSON-serializable view (``repro campaign status --json``)."""
         return {
@@ -143,6 +213,7 @@ class CampaignHealth:
             "median_shard_s": self.median_shard_s,
             "stall_threshold_s": self.stall_threshold_s,
             "eta_s": self.eta_s,
+            "hosts": [host.to_payload() for host in self.hosts()],
             "shards": [shard.to_payload() for shard in self.shards],
         }
 
@@ -206,6 +277,9 @@ def campaign_health(
         worker = beat.get("worker") if beat else None
         if not isinstance(worker, str):
             worker = claim.owner if claim is not None else None
+        host = beat.get("host") if beat else None
+        if not isinstance(host, str):
+            host = claim.host if claim is not None else None
 
         if verdict == "done":
             state = "done"
@@ -245,6 +319,7 @@ def campaign_health(
                 duration_s=duration_s,
                 error=error if isinstance(error, str) else None,
                 worker=worker,
+                host=host,
                 lease_owner=claim.owner if claim is not None else None,
                 lease_age_s=claim_age_s,
                 lease_expired=claim_expired,
@@ -294,6 +369,19 @@ def render_campaign_health(health: CampaignHealth, title: str = "") -> str:
         )
     if health.eta_s is not None:
         lines.append(f"eta ~{_format_age(health.eta_s)} (serial, median-based)")
+    hosts = health.hosts()
+    if hosts:
+        lines.append("")
+        lines.append(
+            f"{'host':>16s} {'done':>5s} {'active':>6s} {'stalled':>7s}"
+            f" {'failed':>6s} {'trials':>7s} {'workers':>7s} {'beat':>7s}"
+        )
+        for host in hosts:
+            lines.append(
+                f"{host.host[:16]:>16s} {host.done:5d} {host.active:6d}"
+                f" {host.stalled:7d} {host.failed:6d} {host.done_trials:7d}"
+                f" {len(host.workers):7d} {_format_age(host.last_beat_age_s):>7s}"
+            )
     attention = [
         shard
         for shard in health.shards

@@ -62,6 +62,7 @@ __all__ = [
     "LeaseManager",
     "lease_expired",
     "backoff_delay",
+    "local_hostname",
 ]
 
 logger = get_logger("campaign.lease")
@@ -75,6 +76,11 @@ LEASE_SCHEMA = "repro.campaign.lease/1"
 DEFAULT_LEASE_TTL_S = 30.0
 
 _HOSTNAME = socket.gethostname()
+
+
+def local_hostname() -> str:
+    """This process's hostname (cached at import; stamps leases/heartbeats)."""
+    return _HOSTNAME
 
 
 @dataclass(frozen=True)

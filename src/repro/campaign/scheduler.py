@@ -38,7 +38,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.campaign.lease import DEFAULT_LEASE_TTL_S, LeaseManager, backoff_delay
+from repro.campaign.lease import (
+    DEFAULT_LEASE_TTL_S,
+    LeaseManager,
+    backoff_delay,
+    local_hostname,
+)
 from repro.campaign.plan import CampaignPlan, ShardSpec
 from repro.campaign.store import ShardStore
 # _shard_losses/_corrupt_artifact are re-exported: they lived here before
@@ -275,6 +280,7 @@ def run_campaign(
                 shard_index=index,
                 trial_count=shard.trial_count,
                 worker=wid,
+                host=local_hostname(),
                 **extra,
             )
             recorder.increment("campaign.heartbeats")

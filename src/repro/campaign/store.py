@@ -25,7 +25,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Union
 
-from repro.campaign.plan import SHARD_SCHEMA, CampaignPlan, ShardSpec
+from repro.campaign.plan import PLAN_SCHEMA, SHARD_SCHEMA, CampaignPlan, ShardSpec
 from repro.obs import get_logger
 from repro.utils.serialization import dump, load
 from repro.version import __version__
@@ -124,7 +124,10 @@ class ShardStore:
         payload = self._read_artifact(shard.digest)
         if payload is None:
             return None
-        losses = payload["result"]["losses"]
+        losses = payload["result"].get("losses")
+        if not isinstance(losses, dict):
+            logger.warning("shard %s artifact has no loss series", shard.digest)
+            return None
         names = shard.scheme_names()
         if set(losses) != set(names) or any(
             len(losses[name]) != shard.trial_count for name in names
@@ -159,7 +162,9 @@ class ShardStore:
             return "pending"
         return "done" if self.has(shard) else "failed"
 
-    def _read_artifact(self, digest: str) -> Optional[dict]:
+    def _read_artifact(
+        self, digest: str, kind: str = "campaign-shard-v1"
+    ) -> Optional[dict]:
         """Parse and sanity-check one artifact; None when invalid."""
         path = self.shard_path(digest)
         try:
@@ -171,14 +176,57 @@ class ShardStore:
             return None
         if (
             not isinstance(payload, dict)
-            or payload.get("kind") != "campaign-shard-v1"
+            or payload.get("kind") != kind
             or payload.get("digest") != digest
             or not isinstance(payload.get("result"), dict)
-            or not isinstance(payload["result"].get("losses"), dict)
         ):
             logger.warning("inconsistent shard artifact %s", path)
             return None
         return payload
+
+    def _artifact_readable(self, digest: str) -> bool:
+        """Kind-agnostic validity check used by gc retention.
+
+        True when the artifact parses and carries a consistent
+        digest/kind/result shape, regardless of which subsystem (campaign
+        or cell) wrote it — gc must not treat a foreign-but-valid kind as
+        corrupt.
+        """
+        try:
+            payload = load(self.shard_path(digest))
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(payload, dict)
+            and isinstance(payload.get("kind"), str)
+            and payload.get("digest") == digest
+            and isinstance(payload.get("result"), dict)
+        )
+
+    # -- generic artifacts (non-campaign shard kinds) ------------------
+
+    def put_artifact(self, payload: dict) -> Path:
+        """Atomically write one generic shard artifact.
+
+        ``payload`` must carry string ``kind`` and ``digest`` fields and
+        a ``result`` dict — the invariants :meth:`get_artifact` checks on
+        read. Used by non-campaign shard producers (e.g. the cell-scale
+        workload of :mod:`repro.cell`) that share this store's
+        content-addressed layout, heartbeats, and claims.
+        """
+        if (
+            not isinstance(payload.get("kind"), str)
+            or not isinstance(payload.get("digest"), str)
+            or not isinstance(payload.get("result"), dict)
+        ):
+            raise ValueError("artifact payload needs kind/digest/result fields")
+        path = self.shard_path(payload["digest"])
+        dump(payload, path)
+        return path
+
+    def get_artifact(self, digest: str, kind: str) -> Optional[dict]:
+        """One generic artifact's payload, or ``None`` if absent/invalid."""
+        return self._read_artifact(digest, kind=kind)
 
     def list_digests(self) -> List[str]:
         """Digests of every artifact file present (valid or not)."""
@@ -207,6 +255,7 @@ class ShardStore:
         trial_count: Optional[int] = None,
         error: Optional[str] = None,
         worker: Optional[str] = None,
+        host: Optional[str] = None,
     ) -> Path:
         """Atomically publish one shard's liveness record.
 
@@ -217,6 +266,8 @@ class ShardStore:
         the worker that produced the record — the execution-provenance
         trail distributed campaigns surface in ``status --json``
         (additive: single-supervisor records are unchanged without it).
+        ``host`` likewise stamps the machine that beat — the per-host
+        roll-up in ``status``/``watch`` groups shards by it.
         """
         directory = self.heartbeat_dir(plan_digest)
         directory.mkdir(parents=True, exist_ok=True)
@@ -242,6 +293,8 @@ class ShardStore:
             record["error"] = error
         if worker is not None:
             record["worker"] = worker
+        if host is not None:
+            record["host"] = host
         path = self.heartbeat_path(plan_digest, shard_digest)
         dump(record, path)
         return path
@@ -310,23 +363,87 @@ class ShardStore:
 
     # -- manifests -----------------------------------------------------
 
-    def save_manifest(self, plan: CampaignPlan) -> Path:
-        """Record the plan so ``status``/``gc`` work without re-planning."""
+    def save_manifest(self, plan) -> Path:
+        """Record the plan so ``status``/``gc`` work without re-planning.
+
+        Accepts any plan-like object with ``digest`` and ``payload()`` —
+        campaign plans and cell plans share the manifest tree, telling
+        each other apart by the payload's ``schema`` field.
+        """
         path = self.manifest_path(plan.digest)
         dump(plan.payload(), path)
         return path
 
+    def manifest_payloads(self) -> Dict[str, dict]:
+        """Every readable manifest's raw payload, keyed by digest.
+
+        Schema-agnostic: campaign plans and other plan kinds (e.g. cell
+        plans) all surface here; unreadable files are skipped with a
+        warning.
+        """
+        payloads: Dict[str, dict] = {}
+        for path in sorted(self.manifest_dir.glob("*.json")):
+            try:
+                payload = load(path)
+            except (OSError, ValueError) as error:
+                logger.warning("skipping unreadable manifest %s: %s", path, error)
+                continue
+            if not isinstance(payload, dict):
+                logger.warning("skipping mis-shaped manifest %s", path)
+                continue
+            payloads[path.stem] = payload
+        return payloads
+
     def load_manifests(self) -> Dict[str, CampaignPlan]:
-        """Every stored plan, keyed by plan digest (invalid files skipped)."""
+        """Every stored *campaign* plan, keyed by plan digest.
+
+        Invalid files are skipped with a warning; manifests recorded by
+        other subsystems (a different ``schema``) are skipped silently —
+        they are not junk, just not campaign plans.
+        """
         from repro.campaign.plan import plan_from_payload
 
         plans: Dict[str, CampaignPlan] = {}
-        for path in sorted(self.manifest_dir.glob("*.json")):
+        for digest, payload in self.manifest_payloads().items():
+            schema = payload.get("schema")
+            if schema != PLAN_SCHEMA:
+                logger.debug("manifest %s has schema %r; not a campaign", digest, schema)
+                continue
             try:
-                plans[path.stem] = plan_from_payload(load(path))
+                plans[digest] = plan_from_payload(payload)
             except Exception as error:  # noqa: BLE001 - tolerate junk files
-                logger.warning("skipping invalid manifest %s: %s", path, error)
+                logger.warning("skipping invalid manifest %s: %s", digest, error)
         return plans
+
+    def _manifest_shard_digests(self) -> Dict[str, Set[str]]:
+        """Shard digests every manifest references, keyed by plan digest.
+
+        Campaign manifests are parsed (their shard payloads carry no
+        digest field; it is recomputed from the spec); other schemas are
+        read structurally from ``shards[*].digest`` entries — the
+        contract generic plans (e.g. :mod:`repro.cell`) follow so gc
+        keeps their artifacts and liveness records.
+        """
+        from repro.campaign.plan import plan_from_payload
+
+        references: Dict[str, Set[str]] = {}
+        for digest, payload in self.manifest_payloads().items():
+            if payload.get("schema") == PLAN_SCHEMA:
+                try:
+                    plan = plan_from_payload(payload)
+                except Exception:  # noqa: BLE001 - junk manifests keep nothing
+                    continue
+                references[digest] = {shard.digest for shard in plan.shards}
+            else:
+                shards = payload.get("shards")
+                if not isinstance(shards, list):
+                    continue
+                references[digest] = {
+                    entry["digest"]
+                    for entry in shards
+                    if isinstance(entry, dict) and isinstance(entry.get("digest"), str)
+                }
+        return references
 
     # -- garbage collection --------------------------------------------
 
@@ -351,25 +468,21 @@ class ShardStore:
         Returns the removed (or, with ``dry_run``, would-be-removed)
         paths. ``now_unix_s`` is injectable for tests.
         """
-        manifests = self.load_manifests()
+        plan_shards = self._manifest_shard_digests()
         if keep is None:
             keep_set: Set[str] = set()
-            for plan in manifests.values():
-                keep_set.update(shard.digest for shard in plan.shards)
+            for digests in plan_shards.values():
+                keep_set.update(digests)
         else:
             keep_set = set(keep)
         removed: List[Path] = []
         for digest in self.list_digests():
             path = self.shard_path(digest)
-            if digest in keep_set and self._read_artifact(digest) is not None:
+            if digest in keep_set and self._artifact_readable(digest):
                 continue
             removed.append(path)
             if not dry_run:
                 path.unlink()
-        plan_shards = {
-            digest: {shard.digest for shard in plan.shards}
-            for digest, plan in manifests.items()
-        }
         removed.extend(
             self._gc_liveness_tree(
                 self.heartbeat_root, plan_shards, dry_run, expire_claims=False

@@ -33,7 +33,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.campaign.lease import DEFAULT_LEASE_TTL_S, LeaseManager, backoff_delay
+from repro.campaign.lease import (
+    DEFAULT_LEASE_TTL_S,
+    LeaseManager,
+    backoff_delay,
+    local_hostname,
+)
 from repro.campaign.plan import CampaignPlan, ShardSpec
 from repro.campaign.store import ShardStore
 from repro.exceptions import CampaignAborted, ConfigurationError
@@ -242,6 +247,7 @@ def run_worker(
                 shard_index=index,
                 trial_count=shard.trial_count,
                 worker=wid,
+                host=local_hostname(),
                 **extra,
             )
             recorder.increment("campaign.heartbeats")

@@ -1,0 +1,91 @@
+"""Cell-scale alignment-as-a-service workload.
+
+Models a BS serving hundreds–thousands of UEs that arrive by a seeded
+Poisson process and contend for limited per-frame training airtime while
+each runs one beam alignment against the shared codebook. The subsystem
+layers:
+
+- :mod:`repro.cell.config` — the frozen, digestable run specification;
+- :mod:`repro.cell.arrivals` — the namespaced Poisson arrival stream;
+- :mod:`repro.cell.scheduler` — FIFO airtime allocation over MAC frames;
+- :mod:`repro.cell.engine` — per-UE alignment with contention-driven
+  interference, serial or batched (bit-identical);
+- :mod:`repro.cell.metrics` — per-UE records and the distribution
+  roll-up (latency, queue wait, SNR loss, overhead fraction);
+- :mod:`repro.cell.shards` — UE-range shards over the campaign store
+  (resume, worker pools, heartbeats);
+- :mod:`repro.cell.service` — ``repro cell serve``: live OpenMetrics
+  plus a byte-stable deterministic summary artifact.
+"""
+
+from repro.cell.arrivals import (
+    ARRIVAL_STREAM,
+    CELL_NAMESPACE,
+    Arrival,
+    ArrivalSchedule,
+    arrival_schedule,
+    cell_root,
+    poisson_arrivals,
+)
+from repro.cell.config import DEFAULT_CELL_SEED, CellConfig
+from repro.cell.engine import UE_STREAM_LABELS, UEOutcome, execute_ues, ue_streams
+from repro.cell.metrics import UERecord, merge_records, summarize_records
+from repro.cell.scheduler import (
+    CellSchedule,
+    UESchedule,
+    build_schedule,
+    schedule_airtime,
+)
+from repro.cell.service import (
+    CELL_SUMMARY_KIND,
+    CellServeReport,
+    render_cell_report,
+    serve_cell,
+    summary_payload,
+)
+from repro.cell.shards import (
+    CELL_PLAN_SCHEMA,
+    CELL_SHARD_KIND,
+    DEFAULT_SHARD_UES,
+    CellPlan,
+    CellShard,
+    execute_shard,
+    plan_cell,
+    run_cell_plan,
+)
+
+__all__ = [
+    "ARRIVAL_STREAM",
+    "CELL_NAMESPACE",
+    "CELL_PLAN_SCHEMA",
+    "CELL_SHARD_KIND",
+    "CELL_SUMMARY_KIND",
+    "DEFAULT_CELL_SEED",
+    "DEFAULT_SHARD_UES",
+    "Arrival",
+    "ArrivalSchedule",
+    "CellConfig",
+    "CellPlan",
+    "CellSchedule",
+    "CellServeReport",
+    "CellShard",
+    "UEOutcome",
+    "UERecord",
+    "UESchedule",
+    "UE_STREAM_LABELS",
+    "arrival_schedule",
+    "build_schedule",
+    "cell_root",
+    "execute_shard",
+    "execute_ues",
+    "merge_records",
+    "plan_cell",
+    "poisson_arrivals",
+    "render_cell_report",
+    "run_cell_plan",
+    "schedule_airtime",
+    "serve_cell",
+    "summarize_records",
+    "summary_payload",
+    "ue_streams",
+]

@@ -1,0 +1,216 @@
+"""Airtime scheduler: contending alignment requests over slotted frames.
+
+The cell's MAC (the paper's Sec. II/IV-B1 context, timing from
+:mod:`repro.mac.frames`) offers every superframe one shared training
+region of ``probe_budget_per_frame`` beam-pair measurement grants. UEs
+become eligible at the first frame boundary after their arrival (they
+must hear the beacon), queue FIFO, and drain their measurement demand —
+``measurements_for_search_rate`` of the shared codebook — across as many
+frames as the contention level forces. The scheduler is **pure
+arithmetic over the arrival schedule**: given the same config it
+produces the same grants in every execution mode, which is what lets the
+timing metrics (latency, queue wait, airtime overhead) stay bit-stable
+while the alignment outcomes are computed elsewhere.
+
+Per-UE outputs:
+
+* ``queue_wait_us`` — arrival to first measurement grant;
+* ``latency_us`` — arrival to feedback of the best pair (alignment
+  latency, the metric Wu et al. motivate as first-class);
+* ``airtime_us`` / ``overhead_fraction`` — protocol airtime consumed,
+  as a fraction of the coherence time (the paper's overhead currency);
+* ``peak_concurrency`` — the most co-scheduled UEs sharing one of its
+  training frames, which drives the inter-user interference coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import math
+
+from repro.cell.arrivals import ArrivalSchedule
+from repro.cell.config import CellConfig
+from repro.exceptions import ConfigurationError
+from repro.mac.frames import FrameConfig, training_timing
+
+__all__ = ["UESchedule", "CellSchedule", "schedule_airtime", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class UESchedule:
+    """One UE's granted airtime through the contention process."""
+
+    ue_id: int
+    arrival_us: float
+    #: Total measurement grants (== the UE's demand; the queue drains).
+    grants: int
+    #: Frames in which the UE held at least one grant.
+    frames_used: int
+    first_frame: int
+    last_frame: int
+    first_grant_us: float
+    completion_us: float
+    #: Most co-scheduled UEs sharing any of its training frames.
+    peak_concurrency: int
+    airtime_us: float
+    overhead_fraction: float
+
+    @property
+    def queue_wait_us(self) -> float:
+        """Arrival to first measurement grant."""
+        return self.first_grant_us - self.arrival_us
+
+    @property
+    def latency_us(self) -> float:
+        """Arrival to reported best pair (alignment latency)."""
+        return self.completion_us - self.arrival_us
+
+
+@dataclass(frozen=True)
+class CellSchedule:
+    """The whole cell's granted airtime, frame by frame."""
+
+    entries: Tuple[UESchedule, ...]
+    num_frames: int
+    #: Measurement grants consumed per frame (index = frame number).
+    frame_load: Tuple[int, ...]
+    #: UEs holding grants per frame.
+    frame_users: Tuple[int, ...]
+
+    @property
+    def span_us(self) -> float:
+        """End of the last frame that granted airtime."""
+        return float(self.num_frames) * 0.0 if not self.entries else max(
+            entry.completion_us for entry in self.entries
+        )
+
+
+def _eligible_frame(arrival_us: float, superframe_us: float) -> int:
+    """First frame whose beacon the UE hears (frame-boundary admission)."""
+    return int(math.ceil(arrival_us / superframe_us))
+
+
+def schedule_airtime(
+    schedule: ArrivalSchedule,
+    demand: int,
+    frame: FrameConfig,
+    probe_budget_per_frame: int,
+) -> CellSchedule:
+    """FIFO-allocate measurement grants over frames until the queue drains.
+
+    ``demand`` is the per-UE measurement count (uniform: one shared
+    codebook, one search rate). Each frame serves the queue head-first:
+    the oldest waiting UE takes as many of the frame's remaining grants
+    as it still needs, then the next UE, until the frame's budget is
+    spent. Completion lands at the end of a UE's last granted dwell plus
+    the feedback exchange.
+    """
+    if demand < 1:
+        raise ConfigurationError(f"per-UE demand must be >= 1, got {demand}")
+    if probe_budget_per_frame < 1:
+        raise ConfigurationError(
+            f"probe_budget_per_frame must be >= 1, got {probe_budget_per_frame}"
+        )
+    arrivals = schedule.arrivals
+    if not arrivals:
+        return CellSchedule(entries=(), num_frames=0, frame_load=(), frame_users=())
+
+    superframe_us = frame.superframe_duration_us
+    remaining: Dict[int, int] = {}
+    first_grant: Dict[int, float] = {}
+    completion: Dict[int, float] = {}
+    frames_of: Dict[int, List[int]] = {}
+
+    queue: List[int] = []  # ue ids, FIFO (arrival order == id order)
+    next_arrival = 0
+    frame_load: List[int] = []
+    frame_users: List[int] = []
+    current = _eligible_frame(arrivals[0].time_us, superframe_us)
+    frame_load.extend([0] * current)
+    frame_users.extend([0] * current)
+
+    while queue or next_arrival < len(arrivals):
+        # Admit every UE whose eligible frame has arrived.
+        while (
+            next_arrival < len(arrivals)
+            and _eligible_frame(arrivals[next_arrival].time_us, superframe_us)
+            <= current
+        ):
+            ue = arrivals[next_arrival].ue_id
+            queue.append(ue)
+            remaining[ue] = demand
+            next_arrival += 1
+        capacity = probe_budget_per_frame
+        served = 0
+        frame_start_us = current * superframe_us
+        while queue and capacity > 0:
+            ue = queue[0]
+            grant = min(remaining[ue], capacity)
+            offset = probe_budget_per_frame - capacity
+            if ue not in first_grant:
+                first_grant[ue] = (
+                    frame_start_us
+                    + frame.beacon_duration_us
+                    + offset * frame.measurement_duration_us
+                )
+            frames_of.setdefault(ue, []).append(current)
+            remaining[ue] -= grant
+            capacity -= grant
+            served += 1
+            if remaining[ue] == 0:
+                completion[ue] = (
+                    frame_start_us
+                    + frame.beacon_duration_us
+                    + (offset + grant) * frame.measurement_duration_us
+                    + frame.feedback_duration_us
+                )
+                queue.pop(0)
+            else:
+                break  # the head keeps its place; the frame is spent
+        frame_load.append(probe_budget_per_frame - capacity)
+        frame_users.append(served)
+        current += 1
+
+    num_frames = current
+    entries: List[UESchedule] = []
+    for arrival in arrivals:
+        ue = arrival.ue_id
+        frames = frames_of[ue]
+        peak = max(frame_users[index] for index in frames) - 1
+        timing = training_timing(frame, demand, len(frames))
+        airtime_us = timing.total_us
+        entries.append(
+            UESchedule(
+                ue_id=ue,
+                arrival_us=arrival.time_us,
+                grants=demand,
+                frames_used=len(frames),
+                first_frame=frames[0],
+                last_frame=frames[-1],
+                first_grant_us=first_grant[ue],
+                completion_us=completion[ue],
+                peak_concurrency=peak,
+                airtime_us=airtime_us,
+                overhead_fraction=min(1.0, airtime_us / frame.coherence_time_us),
+            )
+        )
+    return CellSchedule(
+        entries=tuple(entries),
+        num_frames=num_frames,
+        frame_load=tuple(frame_load),
+        frame_users=tuple(frame_users),
+    )
+
+
+def build_schedule(config: CellConfig) -> CellSchedule:
+    """Arrivals + airtime allocation for a config, in one call."""
+    from repro.cell.arrivals import arrival_schedule
+
+    return schedule_airtime(
+        arrival_schedule(config),
+        config.measurements_per_ue(),
+        config.frame,
+        config.probe_budget_per_frame,
+    )

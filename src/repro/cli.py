@@ -29,6 +29,8 @@
     repro campaign watch --store results/camp   # refreshing TTY dashboard
     repro campaign resume --store results/camp --trials 100  # pick up where left
     repro campaign gc --store results/camp      # drop corrupt/orphaned shards
+    repro cell serve --users 500 --arrival 2000  # multi-user MAC workload
+    repro cell serve --users 500 --openmetrics cell.prom --summary cell.json
 
 Also reachable as ``python -m repro.cli``. ``--log-level debug`` surfaces
 the package's loggers on stderr; tracing and progress are opt-in and do
@@ -367,6 +369,121 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true", help="only report what would be removed"
     )
     gc_cmd.set_defaults(handler=_handle_campaign_gc)
+
+    cell_cmd = commands.add_parser(
+        "cell", help="cell-scale alignment-as-a-service workload"
+    )
+    cell_sub = cell_cmd.add_subparsers(dest="cell_command", required=True)
+    serve_cmd = cell_sub.add_parser(
+        "serve",
+        help="serve a multi-user alignment workload with live metrics",
+    )
+    serve_cmd.add_argument(
+        "--users", type=int, default=500, metavar="N", help="UEs to admit (default 500)"
+    )
+    serve_cmd.add_argument(
+        "--arrival",
+        type=float,
+        default=2000.0,
+        metavar="HZ",
+        help="Poisson arrival rate in UE/s (default 2000)",
+    )
+    serve_cmd.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="arrival window in seconds (default: admit all users)",
+    )
+    serve_cmd.add_argument(
+        "--rate", type=float, default=0.05, help="per-UE search rate (0, 1]"
+    )
+    serve_cmd.add_argument(
+        "--scheme",
+        default="Scan",
+        metavar="NAME",
+        help="alignment scheme every UE runs (default Scan)",
+    )
+    serve_cmd.add_argument(
+        "--channel",
+        choices=[kind.value for kind in ChannelKind],
+        default=ChannelKind.MULTIPATH.value,
+    )
+    serve_cmd.add_argument("--snr-db", type=float, default=20.0)
+    serve_cmd.add_argument("--seed", type=int, default=None, help="base seed")
+    serve_cmd.add_argument(
+        "--probe-budget",
+        type=int,
+        default=64,
+        metavar="N",
+        help="measurement grants per superframe (default 64)",
+    )
+    serve_cmd.add_argument(
+        "--interference-coupling",
+        type=float,
+        default=0.05,
+        metavar="C",
+        help="impulse-hit probability per co-scheduled UE (default 0.05)",
+    )
+    serve_cmd.add_argument(
+        "--interference-power",
+        type=float,
+        default=2.0,
+        metavar="P",
+        help="power of one interference impulse (default 2.0)",
+    )
+    serve_cmd.add_argument(
+        "--batch-users",
+        type=int,
+        default=32,
+        metavar="B",
+        help="UEs per batched channel block (default 32)",
+    )
+    serve_cmd.add_argument(
+        "--serial",
+        action="store_true",
+        help="run the serial reference path instead of batched blocks",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan shards across N worker processes",
+    )
+    serve_cmd.add_argument(
+        "--shard-ues",
+        type=int,
+        default=None,
+        metavar="N",
+        help="UEs per shard (default 64)",
+    )
+    serve_cmd.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="shard store root for resumable execution + heartbeats",
+    )
+    serve_cmd.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="FILE",
+        help="publish a live OpenMetrics exposition here (atomic rewrites)",
+    )
+    serve_cmd.add_argument(
+        "--summary",
+        default=None,
+        metavar="FILE",
+        help="write the deterministic summary artifact here",
+    )
+    serve_cmd.add_argument(
+        "--quick", action="store_true", help="small arrays / few UEs smoke preset"
+    )
+    serve_cmd.add_argument(
+        "--progress", action="store_true", help="print progress/ETA lines to stderr"
+    )
+    _add_backend_argument(serve_cmd)
+    serve_cmd.set_defaults(handler=_handle_cell_serve)
 
     report_cmd = commands.add_parser(
         "report", help="render a markdown report from saved result JSONs"
@@ -945,6 +1062,14 @@ def _handle_campaign_status(args: argparse.Namespace) -> int:
             f" trials {status.done_trials}/{status.total_trials};"
             f" rates {', '.join(f'{r:g}' for r in plan.search_rates)}"
         )
+        health = campaign_health(plan, store, **_campaign_health_kwargs(args))
+        for host in health.hosts():
+            print(
+                f"  host {host.host}: {host.done} done / {host.active} active /"
+                f" {host.stalled} stalled / {host.failed} failed;"
+                f" trials {host.done_trials};"
+                f" {len(host.workers)} worker(s)"
+            )
     return 0
 
 
@@ -1002,6 +1127,80 @@ def _handle_campaign_gc(args: argparse.Namespace) -> int:
     print(f"{verb} {len(removed)} artifact(s) from {args.store}")
     for path in removed:
         print(f"  {path.name}")
+    return 0
+
+
+def _cell_config_from_args(args: argparse.Namespace):
+    """Build the :class:`~repro.cell.config.CellConfig` serve describes."""
+    from repro.cell import DEFAULT_CELL_SEED, CellConfig
+    from repro.sim.parallel import SchemeSpec
+
+    users = args.users
+    if args.quick:
+        scenario = ScenarioConfig(
+            channel=ChannelKind(args.channel),
+            snr_db=args.snr_db,
+            tx_shape=(2, 2),
+            rx_shape=(4, 4),
+            rx_beam_grid=(6, 6),
+        )
+        users = min(users, 48)
+    else:
+        scenario = ScenarioConfig(
+            channel=ChannelKind(args.channel), snr_db=args.snr_db
+        )
+    return CellConfig(
+        scenario=scenario,
+        num_users=users,
+        arrival_rate_hz=args.arrival,
+        duration_s=args.duration,
+        search_rate=args.rate,
+        scheme=SchemeSpec.of(args.scheme),
+        base_seed=args.seed if args.seed is not None else DEFAULT_CELL_SEED,
+        probe_budget_per_frame=args.probe_budget,
+        interference_coupling=args.interference_coupling,
+        interference_power=args.interference_power,
+    )
+
+
+def _handle_cell_serve(args: argparse.Namespace) -> int:
+    from repro.cell import render_cell_report, serve_cell
+    from repro.exceptions import ReproError
+
+    try:
+        config = _cell_config_from_args(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = None
+    if args.store:
+        from repro.campaign import ShardStore
+
+        store = ShardStore(args.store)
+    with ExitStack() as stack:
+        _enter_backend(args, stack)
+        kwargs = {}
+        if args.shard_ues is not None:
+            kwargs["shard_ues"] = args.shard_ues
+        try:
+            report = serve_cell(
+                config,
+                store=store,
+                batch_users=None if args.serial else args.batch_users,
+                workers=args.workers,
+                openmetrics_path=args.openmetrics,
+                summary_path=args.summary,
+                progress=print_progress if args.progress else None,
+                **kwargs,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    print(render_cell_report(report))
+    if report.summary_path is not None:
+        print(f"wrote summary {report.summary_path}")
+    if report.openmetrics_path is not None:
+        print(f"wrote openmetrics {report.openmetrics_path}")
     return 0
 
 

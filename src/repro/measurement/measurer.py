@@ -177,18 +177,19 @@ class MeasurementEngine:
         matched-filter outputs stack into one batched matvec. The RNG
         draw itself always stays host-side (the stream contract is
         backend-independent); only the matched-filter math after the
-        draw dispatches to the active backend. Falls back to the serial
-        loop when interference is enabled (each dwell then consumes a
-        data-dependent number of draws, which cannot be fused without
-        reordering the stream).
+        draw dispatches to the active backend.
+
+        With interference enabled each dwell consumes a data-dependent
+        number of draws (one uniform, plus an interference block on a
+        hit), so the draws cannot collapse into a single ``(P, W)``
+        block. They still fuse: per pair the draw order is replayed
+        exactly — one ``standard_normal`` row, one uniform, the hit
+        rows' interference draws — and the matched-filter math then runs
+        as one batched backend call with the hit rows adjusted after,
+        bit-identical to the serial loop.
         """
         if not pairs:
             return []
-        if self._interference_probability > 0.0:
-            return [
-                self.measure_pair(tx_codebook, rx_codebook, pair, slot=slot)
-                for pair in pairs
-            ]
         coupling = self._channel.codebook_couplings(tx_codebook, rx_codebook)
         tx_indices = [pair.tx_index for pair in pairs]
         rx_indices = [pair.rx_index for pair in pairs]
@@ -196,7 +197,23 @@ class MeasurementEngine:
         count = self._fading_blocks
         num_subpaths = self._channel.num_subpaths
         gain_block = count * num_subpaths
-        block = self._rng.standard_normal((len(pairs), 2 * gain_block + 2 * count))
+        width = 2 * gain_block + 2 * count
+        hit_rows: List[int] = []
+        hit_draws: List[np.ndarray] = []
+        if self._interference_probability > 0.0:
+            # Serial draw order per pair: gains+noise, then the hit
+            # uniform, then (on a hit) the interference block. Sequential
+            # standard_normal calls consume the same ziggurat stream as
+            # one fused block, so replaying the order row by row keeps
+            # the draws bit-identical to measure_pair.
+            block = np.empty((len(pairs), width))
+            for row in range(len(pairs)):
+                block[row] = self._rng.standard_normal(width)
+                if self._rng.uniform() < self._interference_probability:
+                    hit_rows.append(row)
+                    hit_draws.append(self._rng.standard_normal(2 * count))
+        else:
+            block = self._rng.standard_normal((len(pairs), width))
         gain_scale = np.sqrt(0.5)
         noise_scale = np.sqrt(self.noise_variance / 2.0)
         backend = active_backend()
@@ -211,6 +228,19 @@ class MeasurementEngine:
         )
         samples = backend.to_numpy(samples)
         powers = backend.to_numpy(powers)
+        if hit_rows:
+            # Match the serial arithmetic exactly: (faded + noise) +
+            # interference, then the power statistic over the final
+            # samples — per row, so the mean reduction order is the
+            # serial one.
+            self._interference_hits += len(hit_rows)
+            samples = np.array(samples)
+            powers = np.array(powers)
+            scale = np.sqrt(self._interference_power / 2.0)
+            for row, draws in zip(hit_rows, hit_draws):
+                interference = scale * draws[:count] + 1j * (scale * draws[count:])
+                samples[row] = samples[row] + interference
+                powers[row] = np.mean(np.abs(samples[row]) ** 2)
         measurements = []
         for row, pair in enumerate(pairs):
             self._count += 1

@@ -323,3 +323,65 @@ class TestLeaseAwareHealth:
         assert "worker" in rendered and "lease" in rendered
         assert "w0" in rendered and "w9" in rendered
         assert "expired" in rendered
+
+
+class TestHostRollup:
+    def test_hosts_grouped_from_heartbeats(self, plan, store):
+        store.write_heartbeat(
+            plan.digest, plan.shards[0].digest, "running",
+            shard_index=0, worker="w0", host="node-a",
+        )
+        store.write_heartbeat(
+            plan.digest, plan.shards[1].digest, "running",
+            shard_index=1, worker="w1", host="node-a",
+        )
+        store.write_heartbeat(
+            plan.digest, plan.shards[2].digest, "running",
+            shard_index=2, worker="w2", host="node-b",
+        )
+        hosts = {h.host: h for h in campaign_health(plan, store).hosts()}
+        assert set(hosts) == {"node-a", "node-b"}
+        assert hosts["node-a"].active == 2
+        assert hosts["node-a"].workers == ("w0", "w1")
+        assert hosts["node-b"].active == 1
+        assert hosts["node-a"].last_beat_age_s is not None
+
+    def test_host_falls_back_to_lease(self, plan, store):
+        shard = plan.shards[0]
+        store.write_heartbeat(plan.digest, shard.digest, "running", shard_index=0)
+        helper = TestLeaseAwareHealth()
+        helper._claim(store, plan, shard, owner="w7", host="lease-host")
+        health = campaign_health(plan, store)
+        assert health.shards[0].host == "lease-host"
+        hosts = health.hosts()
+        assert [h.host for h in hosts] == ["lease-host"]
+
+    def test_hostless_shards_left_out(self, plan, store):
+        store.write_heartbeat(
+            plan.digest, plan.shards[0].digest, "running", shard_index=0
+        )
+        assert campaign_health(plan, store).hosts() == ()
+
+    def test_scheduler_stamps_host(self, plan, store):
+        import socket
+
+        run_campaign(plan, store)
+        hosts = campaign_health(plan, store).hosts()
+        assert [h.host for h in hosts] == [socket.gethostname()]
+        assert hosts[0].done == len(plan.shards)
+        assert hosts[0].done_trials == plan.total_trials
+
+    def test_payload_and_render_carry_hosts(self, plan, store):
+        import json
+
+        store.write_heartbeat(
+            plan.digest, plan.shards[0].digest, "running",
+            shard_index=0, worker="w0", host="node-a",
+        )
+        health = campaign_health(plan, store)
+        payload = health.to_payload()
+        json.dumps(payload)
+        assert payload["hosts"][0]["host"] == "node-a"
+        assert payload["shards"][0]["host"] == "node-a"
+        rendered = render_campaign_health(health)
+        assert "host" in rendered and "node-a" in rendered

@@ -1,0 +1,135 @@
+"""Tests for FIFO airtime scheduling over MAC frames."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cell.arrivals import Arrival, ArrivalSchedule
+from repro.cell.config import CellConfig
+from repro.cell.scheduler import build_schedule, schedule_airtime
+from repro.exceptions import ConfigurationError
+from repro.mac.frames import FrameConfig
+from repro.sim.config import ScenarioConfig
+
+
+def arrivals_at(*times_us: float) -> ArrivalSchedule:
+    rows = tuple(
+        Arrival(ue_id=index, time_us=time_us) for index, time_us in enumerate(times_us)
+    )
+    return ArrivalSchedule(arrivals=rows, admitted=len(rows), rejected=0)
+
+
+FRAME = FrameConfig()  # 2000us superframe, 2us dwell, 8us beacon, 6us feedback
+
+
+class TestSingleUE:
+    def test_fits_one_frame(self):
+        schedule = schedule_airtime(arrivals_at(100.0), 10, FRAME, 64)
+        entry = schedule.entries[0]
+        assert entry.frames_used == 1
+        assert entry.first_frame == 1  # eligible at the next frame boundary
+        assert entry.first_grant_us == 2000.0 + FRAME.beacon_duration_us
+        assert entry.completion_us == entry.first_grant_us + 10 * 2.0 + 6.0
+        assert entry.queue_wait_us == entry.first_grant_us - 100.0
+        assert entry.peak_concurrency == 0
+
+    def test_spans_frames_when_demand_exceeds_budget(self):
+        schedule = schedule_airtime(arrivals_at(100.0), 150, FRAME, 64)
+        entry = schedule.entries[0]
+        assert entry.frames_used == math.ceil(150 / 64)
+        assert entry.last_frame == entry.first_frame + entry.frames_used - 1
+        # last frame grants the 22 leftover measurements
+        last_start = entry.last_frame * FRAME.superframe_duration_us
+        assert entry.completion_us == (
+            last_start + FRAME.beacon_duration_us + 22 * 2.0 + 6.0
+        )
+
+    def test_boundary_arrival_waits_full_frame(self):
+        schedule = schedule_airtime(arrivals_at(2000.5), 4, FRAME, 64)
+        assert schedule.entries[0].first_frame == 2
+
+
+class TestContention:
+    def test_fifo_order(self):
+        schedule = schedule_airtime(arrivals_at(10.0, 20.0, 30.0), 30, FRAME, 64)
+        a, b, c = schedule.entries
+        assert a.first_grant_us < b.first_grant_us < c.first_grant_us
+        # Frame 1 serves a (30), b (30), and the first 4 of c; c's tail
+        # spills into frame 2.
+        assert a.first_frame == b.first_frame == c.first_frame == 1
+        assert a.frames_used == b.frames_used == 1
+        assert c.frames_used == 2
+        assert c.last_frame == 2
+        assert c.completion_us > b.completion_us
+
+    def test_capacity_respected(self):
+        schedule = schedule_airtime(
+            arrivals_at(*(float(i) for i in range(1, 9))), 20, FRAME, 64
+        )
+        assert all(load <= 64 for load in schedule.frame_load)
+        assert sum(schedule.frame_load) == 8 * 20
+
+    def test_queue_wait_grows_down_the_queue(self):
+        schedule = schedule_airtime(
+            arrivals_at(*(float(i) for i in range(1, 9))), 60, FRAME, 64
+        )
+        waits = [entry.queue_wait_us for entry in schedule.entries]
+        assert waits == sorted(waits)
+        assert waits[-1] > waits[0]
+
+    def test_peak_concurrency_counts_frame_sharers(self):
+        # Two UEs split frame 1 (30 + 34 grants), sharing it.
+        schedule = schedule_airtime(arrivals_at(10.0, 20.0), 30, FRAME, 64)
+        a, b = schedule.entries
+        assert a.peak_concurrency == 1
+        assert b.peak_concurrency == 1
+        # A lone UE shares with nobody.
+        lone = schedule_airtime(arrivals_at(10.0), 30, FRAME, 64)
+        assert lone.entries[0].peak_concurrency == 0
+
+    def test_overhead_fraction_uses_training_timing(self):
+        schedule = schedule_airtime(arrivals_at(10.0), 64, FRAME, 64)
+        entry = schedule.entries[0]
+        expected_airtime = (
+            FRAME.beacon_duration_us
+            + 64 * FRAME.measurement_duration_us
+            + 1 * FRAME.slot_overhead_us  # one training frame used
+            + FRAME.feedback_duration_us
+        )
+        assert entry.airtime_us == expected_airtime
+        assert entry.overhead_fraction == pytest.approx(
+            expected_airtime / FRAME.coherence_time_us
+        )
+
+
+class TestBuildSchedule:
+    def test_covers_all_admitted_ues(self):
+        config = CellConfig(
+            scenario=ScenarioConfig(
+                tx_shape=(2, 2), rx_shape=(2, 4), rx_beam_grid=(3, 3), fading_blocks=4
+            ),
+            num_users=40,
+            arrival_rate_hz=5000.0,
+            search_rate=0.2,
+            probe_budget_per_frame=32,
+        )
+        schedule = build_schedule(config)
+        assert len(schedule.entries) == 40
+        assert [entry.ue_id for entry in schedule.entries] == list(range(40))
+        demand = config.measurements_per_ue()
+        assert all(entry.grants == demand for entry in schedule.entries)
+        assert sum(schedule.frame_load) == 40 * demand
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            schedule_airtime(arrivals_at(1.0), 0, FRAME, 64)
+        with pytest.raises(ConfigurationError):
+            schedule_airtime(arrivals_at(1.0), 5, FRAME, 0)
+
+    def test_empty_schedule(self):
+        empty = ArrivalSchedule(arrivals=(), admitted=0, rejected=5)
+        schedule = schedule_airtime(empty, 5, FRAME, 64)
+        assert schedule.entries == ()
+        assert schedule.num_frames == 0

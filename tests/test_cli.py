@@ -455,3 +455,56 @@ class TestCampaignDistributedCli:
         assert "launching 2 lease-based worker(s)" in out
         assert "shards by worker:" in out
         assert "Campaign sweep" in out
+
+
+class TestCellCli:
+    QUICK = [
+        "cell", "serve", "--quick", "--users", "16", "--arrival", "5000",
+        "--rate", "0.2", "--probe-budget", "32", "--seed", "5",
+    ]
+
+    def test_serve_parses(self):
+        args = build_parser().parse_args(
+            ["cell", "serve", "--users", "100", "--arrival", "1500",
+             "--duration", "0.5", "--scheme", "Scan", "--workers", "2"]
+        )
+        assert args.cell_command == "serve"
+        assert args.users == 100
+        assert args.arrival == 1500.0
+        assert args.duration == 0.5
+        assert args.workers == 2
+
+    def test_quick_serve_renders_summary(self, capsys):
+        assert main(self.QUICK) == 0
+        out = capsys.readouterr().out
+        assert "cell plan" in out
+        assert "latency (ms)" in out
+        assert "SNR loss (dB)" in out
+
+    def test_summary_byte_identical_across_modes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.QUICK + ["--summary", str(a)]) == 0
+        assert main(self.QUICK + ["--serial", "--summary", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_openmetrics_output_parses(self, tmp_path, capsys):
+        from repro.obs.openmetrics import parse_openmetrics
+
+        target = tmp_path / "cell.prom"
+        assert main(self.QUICK + ["--openmetrics", str(target)]) == 0
+        capsys.readouterr()
+        families = parse_openmetrics(target.read_text())
+        assert "repro_cell_ues_done" in families
+
+    def test_store_resume_reports_cached(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(self.QUICK + ["--store", store, "--shard-ues", "8"]) == 0
+        capsys.readouterr()
+        assert main(self.QUICK + ["--store", store, "--shard-ues", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "(cached 2)" in out
+
+    def test_bad_scheme_errors(self, capsys):
+        assert main(["cell", "serve", "--quick", "--scheme", "NoSuch"]) == 2
+        assert "error" in capsys.readouterr().err

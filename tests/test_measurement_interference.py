@@ -72,6 +72,68 @@ class TestInterferenceEffects:
         assert np.isfinite(m.power)
 
 
+class TestFusedInterferencePath:
+    """measure_pairs with interference fuses; stream stays bit-identical."""
+
+    def _engines(self, small_channel, seed=42, probability=0.3, blocks=4):
+        return [
+            MeasurementEngine(
+                small_channel,
+                np.random.default_rng(seed),
+                fading_blocks=blocks,
+                interference_probability=probability,
+                interference_power=2.5,
+            )
+            for _ in range(2)
+        ]
+
+    def test_bit_identical_to_serial_loop(
+        self, small_channel, tx_codebook, rx_codebook
+    ):
+        fused_engine, serial_engine = self._engines(small_channel)
+        pairs = [BeamPair(t, r) for t in range(4) for r in range(12)]
+        fused = fused_engine.measure_pairs(tx_codebook, rx_codebook, pairs, slot=3)
+        serial = [
+            serial_engine.measure_pair(tx_codebook, rx_codebook, pair, slot=3)
+            for pair in pairs
+        ]
+        assert [m.power for m in fused] == [m.power for m in serial]
+        assert [m.z for m in fused] == [m.z for m in serial]
+        assert [m.pair for m in fused] == [m.pair for m in serial]
+        assert fused_engine.interference_hits == serial_engine.interference_hits > 0
+        assert fused_engine.num_measurements == len(pairs)
+
+    def test_stream_position_identical_after_batch(
+        self, small_channel, tx_codebook, rx_codebook
+    ):
+        # After a fused batch both engines' generators must sit at the
+        # same stream position: the next draw agrees bitwise.
+        fused_engine, serial_engine = self._engines(small_channel, seed=7)
+        pairs = [BeamPair(t, r) for t in range(3) for r in range(6)]
+        fused_engine.measure_pairs(tx_codebook, rx_codebook, pairs)
+        for pair in pairs:
+            serial_engine.measure_pair(tx_codebook, rx_codebook, pair)
+        after_fused = fused_engine.measure_pair(
+            tx_codebook, rx_codebook, BeamPair(0, 17)
+        )
+        after_serial = serial_engine.measure_pair(
+            tx_codebook, rx_codebook, BeamPair(0, 17)
+        )
+        assert after_fused.power == after_serial.power
+        assert after_fused.z == after_serial.z
+
+    def test_certain_hit_probability(self, small_channel, tx_codebook, rx_codebook):
+        fused_engine, serial_engine = self._engines(small_channel, probability=1.0)
+        pairs = [BeamPair(0, r) for r in range(10)]
+        fused = fused_engine.measure_pairs(tx_codebook, rx_codebook, pairs)
+        serial = [
+            serial_engine.measure_pair(tx_codebook, rx_codebook, pair)
+            for pair in pairs
+        ]
+        assert fused_engine.interference_hits == len(pairs)
+        assert [m.power for m in fused] == [m.power for m in serial]
+
+
 class TestInterferenceExperiment:
     def test_quick_run(self):
         import repro.experiments as experiments
